@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper artifact (fast-fidelity variant)
+under pytest-benchmark timing and prints the regenerated rows, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as a results report.
+"""

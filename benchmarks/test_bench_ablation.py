@@ -1,0 +1,36 @@
+"""Benchmarks: the three ablation studies from DESIGN.md."""
+
+from _util import regenerate
+
+
+def test_bench_ablation_reorder(benchmark):
+    result = regenerate(benchmark, "ablation-reorder")
+    loads = result.column("loads_ipc")
+    assert abs(loads[0] - loads[1]) / max(loads) < 0.15
+
+
+def test_bench_ablation_capacity(benchmark):
+    result = regenerate(benchmark, "ablation-capacity")
+    hit = result.headers.index("read_hit_rate")
+    assert result.row_by("capacity_policy", "vpc")[hit] > \
+        result.row_by("capacity_policy", "lru")[hit]
+
+
+def test_bench_ablation_preempt(benchmark):
+    result = regenerate(benchmark, "ablation-preempt")
+    assert all(row[result.headers.index("normalized")] > 0.8
+               for row in result.rows)
+
+
+def test_bench_ablation_memory(benchmark):
+    result = regenerate(benchmark, "ablation-memory")
+    ipc = result.headers.index("subject_ipc")
+    fq = result.row_by("channels", "shared-fq")[ipc]
+    fcfs = result.row_by("channels", "shared-fcfs")[ipc]
+    assert fq > fcfs
+
+
+def test_bench_ablation_fairness(benchmark):
+    result = regenerate(benchmark, "ablation-fairness")
+    ipcs = result.column("mcf_ipc")
+    assert min(ipcs) > 0   # both policies keep the subject alive

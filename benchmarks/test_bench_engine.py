@@ -1,0 +1,35 @@
+"""Benchmarks: raw simulator and arbiter throughput (not a paper artifact,
+but the number that governs every experiment's wall-clock)."""
+
+from repro.common.config import VPCAllocation, baseline_config
+from repro.core.arbiter import ArbiterEntry
+from repro.core.vpc_arbiter import VPCArbiter
+from repro.system.cmp import CMPSystem
+from repro.workloads import loads_trace, stores_trace
+
+
+def test_bench_simulation_cycles_per_second(benchmark):
+    """Full 2-thread CMP: processor cycles simulated per wall second."""
+    config = baseline_config(n_threads=2, arbiter="vpc",
+                             vpc=VPCAllocation.equal(2))
+    system = CMPSystem(config, [loads_trace(0), stores_trace(1)])
+    system.run(5_000)  # warm the structures out of the timing loop
+    cycles = 10_000
+    benchmark.pedantic(system.run, args=(cycles,), iterations=1, rounds=3)
+
+
+def test_bench_vpc_arbiter_decision_rate(benchmark):
+    """Enqueue+select throughput of the VPC arbiter alone."""
+    arbiter = VPCArbiter(4, [0.25] * 4, 8)
+
+    def churn():
+        for i in range(1_000):
+            arbiter.enqueue(
+                ArbiterEntry(thread_id=i % 4, payload=None,
+                             is_write=bool(i & 1),
+                             service_quanta=2 if i & 1 else 1),
+                i,
+            )
+            arbiter.select(i)
+
+    benchmark.pedantic(churn, iterations=1, rounds=5)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the headline heterogeneous-mix comparison."""
+
+from _util import regenerate
+
+
+def test_bench_fig10(benchmark):
+    result = regenerate(benchmark, "fig10")
+    average = result.row_by("mix", "average")
+    assert average[result.headers.index("min_gain_%")] > 0

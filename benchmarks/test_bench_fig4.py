@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 4 (cache timing diagram)."""
+
+from _util import regenerate
+
+
+def test_bench_fig4(benchmark):
+    result = regenerate(benchmark, "fig4")
+    critical = result.headers.index("critical_word_total")
+    assert all(row[critical] == 16 for row in result.rows)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 5 (microbenchmark utilization vs banks)."""
+
+from _util import regenerate
+
+
+def test_bench_fig5(benchmark):
+    result = regenerate(benchmark, "fig5")
+    row = result.row_by("config", "loads 2B")
+    assert row[result.headers.index("data_array")] > 0.9

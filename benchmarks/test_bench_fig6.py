@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 6 (SPEC L2 utilizations)."""
+
+from _util import regenerate
+
+
+def test_bench_fig6(benchmark):
+    result = regenerate(benchmark, "fig6")
+    data = result.column("data_array")
+    assert max(data) > 3 * min(data)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 7 (L2 writes and store gathering)."""
+
+from _util import regenerate
+
+
+def test_bench_fig7(benchmark):
+    result = regenerate(benchmark, "fig7")
+    gather = result.column("gathering_rate")
+    assert sum(gather) / len(gather) > 0.5

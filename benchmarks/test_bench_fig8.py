@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 8 (Loads+Stores arbiter sweep)."""
+
+from _util import regenerate
+
+
+def test_bench_fig8(benchmark):
+    result = regenerate(benchmark, "fig8")
+    row_fcfs = result.row_by("policy", "ROW-FCFS")
+    assert row_fcfs[result.headers.index("stores_ipc")] < 0.08

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 9 (subject vs Stores backgrounds)."""
+
+from _util import regenerate
+
+
+def test_bench_fig9(benchmark):
+    result = regenerate(benchmark, "fig9")
+    fcfs = result.headers.index("fcfs_norm")
+    vpc = result.headers.index("vpc50_norm")
+    crushed = [row for row in result.rows if row[fcfs] < 0.6]
+    assert crushed and all(row[vpc] > row[fcfs] for row in crushed)

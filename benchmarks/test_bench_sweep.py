@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the bank-count design-space sweep."""
+
+from _util import regenerate
+
+
+def test_bench_sweep_designspace(benchmark):
+    result = regenerate(benchmark, "sweep-designspace")
+    assert result.rows
+
+
+def test_bench_sweep_smt(benchmark):
+    result = regenerate(benchmark, "sweep-smt")
+    assert len(result.rows) == 3

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table 1 (system configuration)."""
+
+from _util import regenerate
+
+
+def test_bench_table1(benchmark):
+    result = regenerate(benchmark, "table1")
+    assert any("L2" in row[0] for row in result.rows)

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table 2 (microbenchmark characterization)."""
+
+from _util import regenerate
+
+
+def test_bench_table2(benchmark):
+    result = regenerate(benchmark, "table2")
+    assert {row[0] for row in result.rows} == {"loads", "stores"}

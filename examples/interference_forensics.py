@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Interference forensics: where do a victim's cycles actually go?
+
+Runs mcf (low-MLP, latency-sensitive) against three Stores threads
+under the conventional FCFS cache and under a VPC, with per-request
+lifecycle recording enabled, then:
+
+* prints each thread's load-latency and bank-queueing-delay
+  distributions (the queueing component is what inter-thread
+  interference inflates — Section 4.1.2's preemption-latency story);
+* attaches the online :class:`~repro.core.monitor.QoSMonitor` to the
+  VPC run and reports that every monitoring window delivered the
+  programmed bandwidth guarantee.
+
+Run:  python examples/interference_forensics.py
+"""
+
+from repro import CMPSystem, baseline_config
+from repro.analysis import format_report, loads_by_thread, queueing_by_thread
+from repro.common.config import VPCAllocation
+from repro.core.monitor import QoSMonitor, run_monitored
+from repro.workloads import spec_trace, stores_trace
+
+WARMUP, MEASURE = 25_000, 20_000
+
+
+def build(arbiter: str) -> CMPSystem:
+    config = baseline_config(
+        n_threads=4, arbiter=arbiter, vpc=VPCAllocation.equal(4)
+    )
+    traces = [spec_trace("mcf", 0)] + [stores_trace(t) for t in (1, 2, 3)]
+    return CMPSystem(config, traces, record_requests=True)
+
+
+def main() -> None:
+    for arbiter in ("fcfs", "vpc"):
+        system = build(arbiter)
+        system.run(WARMUP)
+        system.request_log.clear()   # analyze steady state only
+
+        monitor = None
+        if arbiter == "vpc":
+            monitor = QoSMonitor(system, window=2_000)
+            run_monitored(system, MEASURE, monitor)
+        else:
+            system.run(MEASURE)
+
+        print(f"=== {arbiter.upper()} ===")
+        mcf_ipc = (system.cores[0].dispatched /
+                   system.cores[0].cycles)
+        print(f"mcf cumulative IPC {mcf_ipc:.3f} "
+              f"(thread 0; threads 1-3 are Stores)")
+        print(format_report(loads_by_thread(system.request_log),
+                            "demand-load latency (cycles):"))
+        print(format_report(queueing_by_thread(system.request_log),
+                            "bank queueing delay (cycles):"))
+        if monitor is not None:
+            status = "all windows clean" if monitor.clean else (
+                f"{len(monitor.violations)} VIOLATIONS"
+            )
+            print(f"QoS monitor: {monitor.windows_checked} windows, {status}")
+            if not monitor.clean:
+                raise SystemExit("bandwidth guarantee violated")
+        print()
+
+    print("under FCFS the victim's queueing tail (p95) explodes behind the")
+    print("store threads' double-length data-array accesses; the VPC arbiter")
+    print("bounds it to roughly one preemption per burst.")
+
+
+if __name__ == "__main__":
+    main()

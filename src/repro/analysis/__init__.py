@@ -1,0 +1,19 @@
+"""Post-hoc analysis utilities (latency distributions, reports)."""
+
+from repro.analysis.latency import (
+    LatencySummary,
+    format_report,
+    load_latency,
+    loads_by_thread,
+    queueing_by_thread,
+    queueing_delay,
+)
+
+__all__ = [
+    "LatencySummary",
+    "format_report",
+    "load_latency",
+    "loads_by_thread",
+    "queueing_by_thread",
+    "queueing_delay",
+]

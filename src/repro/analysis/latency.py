@@ -1,0 +1,101 @@
+"""Per-request latency analysis from the lifecycle timestamps.
+
+Every :class:`~repro.common.records.MemoryRequest` is stamped as it
+moves through the bank; with ``CMPSystem(..., record_requests=True)``
+the system keeps completed requests in ``system.request_log``, and the
+functions here turn that log into per-thread / per-stage latency
+distributions — the data behind "preemption latency is amortized over
+bursts" style arguments (Section 4.1.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.records import MemoryRequest
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of one latency population (cycles)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: int
+
+    @staticmethod
+    def of(samples: Sequence[int]) -> "LatencySummary":
+        if not samples:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0)
+        ordered = sorted(samples)
+
+        def percentile(fraction: float) -> float:
+            index = min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1)
+            return float(ordered[max(index, 0)])
+
+        return LatencySummary(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(0.50),
+            p95=percentile(0.95),
+            maximum=ordered[-1],
+        )
+
+
+def load_latency(request: MemoryRequest) -> Optional[int]:
+    """Issue-to-critical-word latency of a completed load, else None."""
+    if not request.is_read:
+        return None
+    if request.issued_cycle < 0 or request.critical_word_cycle < 0:
+        return None
+    return request.critical_word_cycle - request.issued_cycle
+
+
+def queueing_delay(request: MemoryRequest) -> Optional[int]:
+    """Cycles between bank arrival and winning controller admission —
+    the component inflated by inter-thread interference."""
+    if request.arrived_bank_cycle < 0 or request.entered_arbitration_cycle < 0:
+        return None
+    return request.entered_arbitration_cycle - request.arrived_bank_cycle
+
+
+def loads_by_thread(
+    requests: Sequence[MemoryRequest],
+) -> Dict[int, LatencySummary]:
+    """Per-thread load-latency summaries (demand loads only)."""
+    samples: Dict[int, List[int]] = {}
+    for request in requests:
+        if request.is_prefetch:
+            continue
+        latency = load_latency(request)
+        if latency is None:
+            continue
+        samples.setdefault(request.thread_id, []).append(latency)
+    return {tid: LatencySummary.of(vals) for tid, vals in sorted(samples.items())}
+
+
+def queueing_by_thread(
+    requests: Sequence[MemoryRequest],
+) -> Dict[int, LatencySummary]:
+    samples: Dict[int, List[int]] = {}
+    for request in requests:
+        delay = queueing_delay(request)
+        if delay is None:
+            continue
+        samples.setdefault(request.thread_id, []).append(delay)
+    return {tid: LatencySummary.of(vals) for tid, vals in sorted(samples.items())}
+
+
+def format_report(summaries: Dict[int, LatencySummary], title: str) -> str:
+    lines = [title, f"{'thread':>7} {'count':>7} {'mean':>8} "
+                    f"{'p50':>7} {'p95':>7} {'max':>7}"]
+    for thread_id, summary in summaries.items():
+        lines.append(
+            f"{thread_id:>7} {summary.count:>7} {summary.mean:>8.1f} "
+            f"{summary.p50:>7.0f} {summary.p95:>7.0f} {summary.maximum:>7}"
+        )
+    return "\n".join(lines)

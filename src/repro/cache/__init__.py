@@ -1,0 +1,29 @@
+"""Cache substrate: arrays, L1, store gathering, and the L2 bank pipeline."""
+
+from repro.cache.bank import CacheBank, SMState, StateMachine
+from repro.cache.cache_array import CacheArray, CacheSet, Eviction
+from repro.cache.l1 import L1Cache
+from repro.cache.l2 import SharedL2
+from repro.cache.l3 import L3Config, SharedL3
+from repro.cache.mshr import MSHREntry, MSHRFile
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy, SetView
+from repro.cache.store_gather import StoreGatherBuffer
+
+__all__ = [
+    "CacheArray",
+    "CacheBank",
+    "CacheSet",
+    "Eviction",
+    "L1Cache",
+    "L3Config",
+    "LRUPolicy",
+    "MSHREntry",
+    "MSHRFile",
+    "ReplacementPolicy",
+    "SharedL2",
+    "SharedL3",
+    "SMState",
+    "SetView",
+    "StateMachine",
+    "StoreGatherBuffer",
+]

@@ -1,0 +1,64 @@
+"""Private write-through L1 data cache (paper Section 3.1, Table 1).
+
+Write-through, no-write-allocate: every store is forwarded to the L2
+(where the store gathering buffers absorb it); a store that hits updates
+the L1 copy in place.  Loads allocate on miss.  This is the IBM-970-style
+design the paper assumes — it keeps the L1 simple and pushes all store
+bandwidth pressure onto the shared L2, which is exactly the pressure the
+VPC arbiters must manage.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache_array import CacheArray
+from repro.cache.replacement import LRUPolicy
+from repro.common.config import L1Config
+
+
+class L1Cache:
+    """State-only L1 model; its 2-cycle latency is applied by the core."""
+
+    def __init__(self, config: L1Config) -> None:
+        self.config = config
+        self.array = CacheArray(config.sets, config.ways, LRUPolicy())
+        self.load_hits = 0
+        self.load_misses = 0
+        self.store_hits = 0
+        self.store_misses = 0
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.config.line_size
+
+    def load(self, addr: int) -> bool:
+        """Probe for a load.  Returns True on hit.  Misses do NOT allocate
+        here — the core allocates via :meth:`fill` when the L2 responds,
+        so in-flight misses don't appear cached."""
+        hit = self.array.lookup(self.line_of(addr))
+        if hit:
+            self.load_hits += 1
+        else:
+            self.load_misses += 1
+        return hit
+
+    def store(self, addr: int) -> bool:
+        """Write-through store.  Returns True when the line was present
+        (L1 updated); the caller forwards the store to L2 either way."""
+        line = self.line_of(addr)
+        hit = self.array.lookup(line)
+        if hit:
+            self.store_hits += 1
+        else:
+            self.store_misses += 1
+        return hit
+
+    def fill(self, addr: int, thread_id: int = 0) -> None:
+        """Install the line for a returning load miss.
+
+        The evicted line needs no writeback — write-through means the L2
+        always holds the freshest data.
+        """
+        self.array.insert(self.line_of(addr), thread_id)
+
+    @property
+    def accesses(self) -> int:
+        return self.load_hits + self.load_misses + self.store_hits + self.store_misses

@@ -1,0 +1,53 @@
+"""Replacement-policy interface and the plain LRU baseline.
+
+Policies see a :class:`SetView` — a snapshot of one set's ownership,
+validity, and recency — and return the way to victimize.  The VPC
+Capacity Manager (:mod:`repro.core.capacity`) implements this interface
+with the paper's thread-aware quota policy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class SetView:
+    """Snapshot of a cache set handed to replacement policies.
+
+    ``lru_order`` lists way indices least-recently-used first, covering
+    every way (valid or not); policies must only pick valid ways.
+    """
+
+    ways: int
+    owners: List[int]
+    valid: List[bool]
+    lru_order: List[int]
+
+    def valid_lru_ways(self) -> List[int]:
+        return [w for w in self.lru_order if self.valid[w]]
+
+    def occupancy(self, thread_id: int) -> int:
+        return sum(
+            1 for w in range(self.ways) if self.valid[w] and self.owners[w] == thread_id
+        )
+
+
+class ReplacementPolicy(ABC):
+    """Chooses a victim way when a set is full."""
+
+    @abstractmethod
+    def choose_victim(self, set_view: SetView, requester: int) -> int:
+        """Return the way to evict for ``requester``'s incoming line."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Thread-oblivious global LRU — the conventional baseline."""
+
+    def choose_victim(self, set_view: SetView, requester: int) -> int:
+        candidates = set_view.valid_lru_ways()
+        if not candidates:
+            raise RuntimeError("choose_victim called on a set with no valid lines")
+        return candidates[0]

@@ -1,0 +1,127 @@
+"""Top-level simulation CLI: ``python -m repro <workload>... [options]``.
+
+Runs an N-thread CMP where each positional argument names one thread's
+workload: a SPEC stand-in profile (``art``, ``mcf``, ...), a Table-2
+microbenchmark (``loads``/``stores``), or ``trace:<path>`` for a
+segment-trace file.  Prints per-thread IPC, utilization, and the
+Figure-7 store statistics.
+
+Examples::
+
+    python -m repro loads stores --arbiter vpc --shares 0.75,0.25
+    python -m repro art mcf gzip sixtrack --arbiter fcfs
+    python -m repro trace:mytrace.txt stores --cycles 80000
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Iterator, List, Optional
+
+from repro.common.config import VPCAllocation, baseline_config
+from repro.cpu.isa import TraceItem
+from repro.system.cmp import CMPSystem
+from repro.system.simulator import run_simulation
+from repro.workloads.microbench import MICROBENCHMARKS
+from repro.workloads.profiles import SPEC_PROFILES, spec_trace
+from repro.workloads.tracefile import trace_from_file
+
+
+def resolve_workload(name: str, thread_id: int) -> Iterator[TraceItem]:
+    """Map a CLI workload spec to a trace iterator."""
+    if name.startswith("trace:"):
+        return trace_from_file(name.split(":", 1)[1])
+    if name in MICROBENCHMARKS:
+        return MICROBENCHMARKS[name](thread_id)
+    if name in SPEC_PROFILES:
+        return spec_trace(name, thread_id)
+    known = sorted(MICROBENCHMARKS) + sorted(SPEC_PROFILES)
+    raise ValueError(f"unknown workload {name!r}; choose from {known} "
+                     "or trace:<path>")
+
+
+def parse_shares(text: Optional[str], n_threads: int) -> List[float]:
+    if text is None:
+        return [1.0 / n_threads] * n_threads
+    shares = [float(tok) for tok in text.split(",")]
+    if len(shares) != n_threads:
+        raise ValueError(
+            f"--shares needs {n_threads} comma-separated values, got {text!r}"
+        )
+    return shares
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Simulate workloads on the VPC-enabled CMP.",
+    )
+    parser.add_argument("workloads", nargs="+",
+                        help="one workload per thread (see module docstring)")
+    parser.add_argument("--arbiter", default="vpc",
+                        choices=("vpc", "fcfs", "row-fcfs"))
+    parser.add_argument("--shares", default=None,
+                        help="comma-separated bandwidth shares (default equal)")
+    parser.add_argument("--capacity-shares", default=None,
+                        help="comma-separated way shares (default equal)")
+    parser.add_argument("--banks", type=int, default=2)
+    parser.add_argument("--warmup", type=int, default=30_000)
+    parser.add_argument("--cycles", type=int, default=30_000,
+                        help="measurement cycles after warmup")
+    parser.add_argument("--capacity", default="vpc", choices=("vpc", "lru"))
+    parser.add_argument("--selection", default="finish",
+                        choices=("finish", "start"),
+                        help="VPC arbiter fairness policy (WFQ or SFQ)")
+    parser.add_argument("--prefetch", action="store_true",
+                        help="enable the next-line prefetcher")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    n_threads = len(args.workloads)
+    allocation = VPCAllocation(
+        parse_shares(args.shares, n_threads),
+        parse_shares(args.capacity_shares, n_threads),
+    )
+    config = baseline_config(
+        n_threads=n_threads, banks=args.banks,
+        arbiter=args.arbiter, vpc=allocation,
+    )
+    if args.prefetch:
+        from dataclasses import replace
+
+        from repro.common.config import CoreConfig
+        config = replace(
+            config, core=CoreConfig(prefetch_enabled=True)
+        ).validate()
+
+    traces = [
+        resolve_workload(name, tid)
+        for tid, name in enumerate(args.workloads)
+    ]
+    system = CMPSystem(
+        config, traces,
+        capacity_policy=args.capacity,
+        vpc_selection=args.selection,
+    )
+    result = run_simulation(system, warmup=args.warmup, measure=args.cycles)
+
+    print(f"{n_threads}-thread CMP, {args.banks} banks, arbiter={args.arbiter}"
+          f" ({args.cycles} measured cycles after {args.warmup} warmup)")
+    for tid, name in enumerate(args.workloads):
+        share = allocation.bandwidth_shares[tid]
+        print(f"  t{tid} {name:<18} phi={share:<5.2f} "
+              f"IPC {result.ipcs[tid]:.3f}")
+    utils = result.utilizations
+    print(f"  L2 utilization: tag {utils['tag']:.0%}  "
+          f"data {utils['data']:.0%}  bus {utils['bus']:.0%}")
+    print(f"  L2 requests: {result.l2_reads} reads, {result.l2_writes} writes "
+          f"({result.write_fraction:.0%} writes), "
+          f"gathering rate {result.gathering_rate:.0%}, "
+          f"miss rate {result.l2_miss_rate:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

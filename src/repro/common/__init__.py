@@ -1,0 +1,37 @@
+"""Simulation-kernel primitives shared across the `repro` packages."""
+
+from repro.common.config import (
+    CoreConfig,
+    CrossbarConfig,
+    L1Config,
+    L2Config,
+    MemoryConfig,
+    SystemConfig,
+    VPCAllocation,
+    baseline_config,
+    private_equivalent,
+)
+from repro.common.latch import DelayLine, VariableDelayQueue
+from repro.common.records import AccessType, MemoryRequest, make_request
+from repro.common.stats import Counters, UtilizationMeter, harmonic_mean, weighted_mean
+
+__all__ = [
+    "AccessType",
+    "Counters",
+    "CoreConfig",
+    "CrossbarConfig",
+    "DelayLine",
+    "L1Config",
+    "L2Config",
+    "MemoryConfig",
+    "MemoryRequest",
+    "SystemConfig",
+    "UtilizationMeter",
+    "VPCAllocation",
+    "VariableDelayQueue",
+    "baseline_config",
+    "harmonic_mean",
+    "make_request",
+    "private_equivalent",
+    "weighted_mean",
+]

@@ -1,0 +1,245 @@
+"""System configuration (paper Table 1) and the private-machine transform.
+
+All latencies are in *processor* cycles, exactly as Table 1 quotes them.
+The half-frequency L2/crossbar clock domain is folded into the latencies
+(see DESIGN.md, "Clocking").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Simplified out-of-order core (Table 1, processor rows).
+
+    Prefetching is disabled by default — the paper disables the 970's
+    prefetchers and names VPC-supported prefetching as future work; the
+    knobs below enable a next-line prefetcher for that extension.
+    """
+
+    issue_width: int = 5          # dispatch-group width (20 groups x 5 insts)
+    window_size: int = 100        # reorder-buffer capacity in instructions
+    load_queue: int = 32
+    store_queue: int = 32
+    prefetch_enabled: bool = False
+    prefetch_degree: int = 2      # next-line prefetches per demand miss
+
+
+@dataclass(frozen=True)
+class L1Config:
+    """Private write-through L1 (Table 1: 16KB, 4-way, 64B, 2 cycles)."""
+
+    size_bytes: int = 16 * KIB
+    ways: int = 4
+    line_size: int = 64
+    latency: int = 2
+    mshrs: int = 16
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_size)
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """Banked shared L2 (Table 1, L2 rows; latencies in processor cycles)."""
+
+    banks: int = 2
+    size_bytes: int = 16 * MIB
+    ways: int = 32
+    line_size: int = 64
+    tag_latency: int = 4            # tag-array access latency AND occupancy
+    data_read_latency: int = 8      # one data-array access
+    data_write_latency: int = 16    # two back-to-back accesses (ECC read-merge-write)
+    bus_bytes_per_beat: int = 16    # 16-byte bus at half core frequency
+    bus_beat_cycles: int = 2        # => one beat every 2 processor cycles
+    state_machines_per_thread: int = 8
+    sgb_entries: int = 8            # store gathering buffer entries per thread
+    sgb_high_water: int = 6         # retire-at-6 policy
+    fill_tag_update_latency: int = 4
+    # Misses perform an extra tag access (miss-status/castout lookup)
+    # before going to memory — "many L2 cache misses ... require multiple
+    # tag array accesses" (paper Section 5.2, Figure 6 discussion).
+    miss_status_tag_access: bool = True
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.banks * self.ways * self.line_size)
+
+    @property
+    def bus_line_cycles(self) -> int:
+        """Cycles the data bus is busy transferring one full line."""
+        beats = -(-self.line_size // self.bus_bytes_per_beat)  # ceil division
+        return beats * self.bus_beat_cycles
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Core <-> L2 interconnect (Table 1: half frequency, 2-cycle latency).
+
+    Only the *request* direction pays the crossbar latency: each bank's
+    return data bus is "connected to all processors on the crossbar"
+    (Figure 2a), so the critical-word cycle stamped by the bank is the
+    cycle the processor sees the data (Figure 4's 16-cycle total =
+    2 crossbar + 4 tag + 8 data array + first 2-cycle bus beat).
+    """
+
+    latency: int = 2                # request direction, in processor cycles
+    response_latency: int = 0       # data bus reaches the cores directly
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """DDR2-800 memory behind an on-chip controller (Table 1, bottom rows).
+
+    One private channel per thread, closed-page policy.  Timing parameters
+    are in *memory* cycles (DDR2-800 command clock = 400 MHz; with a 2 GHz
+    core, ``clock_divider`` = 5 processor cycles per memory cycle).
+    """
+
+    channels_per_thread: int = 1
+    # "private": one channel per thread, the paper's isolation setup.
+    # "shared": all threads share one channel, scheduled by
+    # ``shared_scheduler`` ("fq" = the Nesbit et al. fair-queuing memory
+    # controller the VPM framework assumes; "fcfs" = the conventional
+    # interference-prone baseline).
+    sharing: str = "private"
+    shared_scheduler: str = "fq"
+    ranks_per_channel: int = 2
+    banks_per_rank: int = 8
+    clock_divider: int = 5
+    t_rcd: int = 5                  # activate -> column command
+    t_cl: int = 5                   # column read -> first data
+    t_wl: int = 4                   # column write -> first data (CL - 1)
+    t_rp: int = 5                   # precharge
+    burst_cycles: int = 4           # 64B over an 8B DDR bus: 8 beats = 4 clocks
+    transaction_buffer: int = 16    # per-thread read transaction entries
+    write_buffer: int = 8           # per-thread write entries
+
+
+@dataclass(frozen=True)
+class VPCAllocation:
+    """Software-visible VPC control registers for the whole cache.
+
+    ``bandwidth_shares`` is phi_i (fraction of tag/data/bus bandwidth) and
+    ``capacity_shares`` is beta_i (fraction of cache ways).  The paper
+    restricts discussion to a single phi per thread applied to all three
+    bandwidth resources; we keep the same restriction at this level (the
+    arbiters themselves accept arbitrary shares).
+    """
+
+    bandwidth_shares: List[float] = field(default_factory=lambda: [0.25] * 4)
+    capacity_shares: List[float] = field(default_factory=lambda: [0.25] * 4)
+
+    def validate(self, n_threads: int) -> None:
+        for name, shares in (
+            ("bandwidth_shares", self.bandwidth_shares),
+            ("capacity_shares", self.capacity_shares),
+        ):
+            if len(shares) != n_threads:
+                raise ValueError(
+                    f"{name} has {len(shares)} entries for {n_threads} threads"
+                )
+            if any(s < 0 for s in shares):
+                raise ValueError(f"{name} contains a negative share: {shares}")
+            if sum(shares) > 1.0 + 1e-9:
+                raise ValueError(f"{name} over-allocates the resource: {shares}")
+
+    @staticmethod
+    def equal(n_threads: int) -> "VPCAllocation":
+        share = 1.0 / n_threads
+        return VPCAllocation([share] * n_threads, [share] * n_threads)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete CMP description (paper Table 1).
+
+    ``l3`` is the optional shared L3 level ("if there were an L3 cache,
+    it would be shared in a similar manner", Section 1.1); ``None``
+    reproduces the paper's two-level hierarchy.  The field holds a
+    ``repro.cache.l3.L3Config`` (kept as Any here to avoid a config ->
+    cache import cycle).
+    """
+
+    n_threads: int = 4
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1: L1Config = field(default_factory=L1Config)
+    l2: L2Config = field(default_factory=L2Config)
+    crossbar: CrossbarConfig = field(default_factory=CrossbarConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    l3: Optional[object] = None
+    arbiter: str = "fcfs"           # "fcfs" | "row-fcfs" | "vpc"
+    vpc: VPCAllocation = field(default_factory=lambda: VPCAllocation.equal(4))
+
+    def validate(self) -> "SystemConfig":
+        if self.n_threads < 1:
+            raise ValueError("need at least one thread")
+        if self.arbiter not in ("fcfs", "row-fcfs", "vpc"):
+            raise ValueError(f"unknown arbiter policy: {self.arbiter!r}")
+        if self.l1.line_size != self.l2.line_size:
+            raise ValueError("L1/L2 line sizes must match")
+        self.vpc.validate(self.n_threads)
+        return self
+
+
+def baseline_config(
+    n_threads: int = 4,
+    banks: int = 2,
+    arbiter: str = "fcfs",
+    vpc: Optional[VPCAllocation] = None,
+) -> SystemConfig:
+    """The paper's baseline CMP: Table 1 with a chosen thread/bank count."""
+    if vpc is None:
+        vpc = VPCAllocation.equal(n_threads)
+    return SystemConfig(
+        n_threads=n_threads,
+        l2=L2Config(banks=banks),
+        arbiter=arbiter,
+        vpc=vpc,
+    ).validate()
+
+
+def private_equivalent(
+    config: SystemConfig, phi: float, beta: float
+) -> SystemConfig:
+    """A uniprocessor whose private cache matches a (phi, beta) VPC.
+
+    Section 5.3: "the private cache has the same number of sets as the
+    shared cache and beta * <ways> cache ways.  In the private cache all
+    resource latencies are scaled by 1/phi".  This is the machine used to
+    compute a thread's *target IPC*.
+    """
+    if not 0.0 < phi <= 1.0:
+        raise ValueError(f"phi must be in (0, 1], got {phi}")
+    if not 0.0 < beta <= 1.0:
+        raise ValueError(f"beta must be in (0, 1], got {beta}")
+    ways = max(1, round(config.l2.ways * beta))
+
+    def scaled(latency: int) -> int:
+        return max(1, round(latency / phi))
+
+    l2 = replace(
+        config.l2,
+        ways=ways,
+        # Keep the set count identical: shrink total size with the ways.
+        size_bytes=config.l2.sets * config.l2.banks * ways * config.l2.line_size,
+        tag_latency=scaled(config.l2.tag_latency),
+        data_read_latency=scaled(config.l2.data_read_latency),
+        data_write_latency=scaled(config.l2.data_write_latency),
+        bus_beat_cycles=scaled(config.l2.bus_beat_cycles),
+        fill_tag_update_latency=scaled(config.l2.fill_tag_update_latency),
+    )
+    return replace(
+        config,
+        n_threads=1,
+        l2=l2,
+        arbiter="row-fcfs",   # the paper's uniprocessor baseline policy
+        vpc=VPCAllocation([1.0], [1.0]),
+    ).validate()

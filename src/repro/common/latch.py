@@ -1,0 +1,66 @@
+"""Fixed-delay transport queues used to model interconnect latency.
+
+A :class:`DelayLine` delivers items exactly ``delay`` cycles after they
+are pushed, preserving push order — the behaviour of a pipelined link.
+A :class:`VariableDelayQueue` (heap-based) delivers items at arbitrary
+future cycles, used by the memory channel model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Deque, Generic, Iterator, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class DelayLine(Generic[T]):
+    """FIFO with a constant transit delay (a pipelined wire)."""
+
+    def __init__(self, delay: int) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.delay = delay
+        self._items: Deque[Tuple[int, T]] = deque()
+
+    def push(self, now: int, item: T) -> None:
+        self._items.append((now + self.delay, item))
+
+    def pop_ready(self, now: int) -> Iterator[T]:
+        """Yield every item whose delivery time has arrived."""
+        while self._items and self._items[0][0] <= now:
+            yield self._items.popleft()[1]
+
+    def peek_ready(self, now: int) -> bool:
+        return bool(self._items) and self._items[0][0] <= now
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._items)
+
+
+class VariableDelayQueue(Generic[T]):
+    """Priority queue keyed by delivery cycle (stable for equal keys)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, T]] = []
+        self._tiebreak = itertools.count()
+
+    def push_at(self, ready_cycle: int, item: T) -> None:
+        heapq.heappush(self._heap, (ready_cycle, next(self._tiebreak), item))
+
+    def pop_ready(self, now: int) -> Iterator[T]:
+        while self._heap and self._heap[0][0] <= now:
+            yield heapq.heappop(self._heap)[2]
+
+    def next_ready_cycle(self) -> int:
+        """Cycle of the earliest pending item; -1 when empty."""
+        return self._heap[0][0] if self._heap else -1
+
+    def __len__(self) -> int:
+        return len(self._heap)

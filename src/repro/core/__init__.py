@@ -1,0 +1,33 @@
+"""The paper's primary contribution: VPC arbiters and capacity manager."""
+
+from repro.core.arbiter import (
+    Arbiter,
+    ArbiterEntry,
+    FCFSArbiter,
+    RoWFCFSArbiter,
+    round_robin_order,
+)
+from repro.core.capacity import VPCCapacityManager, ways_quota
+from repro.core.monitor import QoSMonitor, ServiceViolation, run_monitored
+from repro.core.qos import QoSOutcome, monotonicity_violations, summarize
+from repro.core.registers import BANDWIDTH_RESOURCES, VPCControlRegisters
+from repro.core.vpc_arbiter import VPCArbiter
+
+__all__ = [
+    "Arbiter",
+    "ArbiterEntry",
+    "BANDWIDTH_RESOURCES",
+    "FCFSArbiter",
+    "QoSMonitor",
+    "QoSOutcome",
+    "RoWFCFSArbiter",
+    "ServiceViolation",
+    "VPCArbiter",
+    "VPCCapacityManager",
+    "VPCControlRegisters",
+    "monotonicity_violations",
+    "round_robin_order",
+    "run_monitored",
+    "summarize",
+    "ways_quota",
+]

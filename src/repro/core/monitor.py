@@ -1,0 +1,122 @@
+"""Online QoS monitoring: audit the bandwidth guarantee while running.
+
+System software that programs the VPC control registers wants to *know*
+when a guarantee was not delivered (a hardware bug, an over-allocation,
+or an unaccounted preemption effect).  :class:`QoSMonitor` watches every
+VPC arbiter in a live system and, per monitoring window, checks the
+fair-queuing service bound for each thread that stayed backlogged
+through the window:
+
+    service >= phi * window - allowance
+
+where the allowance covers non-preemptibility and window-edge effects
+(three maximum service times: a grant straddling each window edge plus
+one EDF scheduling lag).  Windows where the bound fails are recorded as
+:class:`ServiceViolation`s.
+
+Use :func:`run_monitored` to drive a system with a monitor attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.vpc_arbiter import VPCArbiter
+from repro.system.cmp import CMPSystem
+
+
+@dataclass(frozen=True)
+class ServiceViolation:
+    """One failed window on one resource for one thread."""
+
+    window_start: int
+    window_end: int
+    bank_resource: str
+    thread_id: int
+    granted: int
+    guaranteed: float
+
+
+class QoSMonitor:
+    """Watches the VPC arbiters of a :class:`CMPSystem`."""
+
+    def __init__(self, system: CMPSystem, window: int = 2_000) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1 cycle")
+        if system.config.arbiter != "vpc":
+            raise ValueError("QoSMonitor requires a VPC-arbitrated system")
+        self.system = system
+        self.window = window
+        self.violations: List[ServiceViolation] = []
+        self.windows_checked = 0
+        self._arbiters = []
+        for resource, arbiters in system._vpc_arbiters.items():
+            for index, arbiter in enumerate(arbiters):
+                self._arbiters.append((f"bank{index}.{resource}", arbiter))
+        self._window_start = system.cycle
+        self._service_snapshot = [
+            list(arbiter.service_granted) for _, arbiter in self._arbiters
+        ]
+        self._always_backlogged = [
+            [True] * system.config.n_threads for _ in self._arbiters
+        ]
+
+    def tick(self, now: int) -> None:
+        """Call once per simulated cycle (after ``system.step()``)."""
+        for index, (_, arbiter) in enumerate(self._arbiters):
+            flags = self._always_backlogged[index]
+            for thread_id in range(self.system.config.n_threads):
+                if flags[thread_id] and arbiter.pending_for(thread_id) == 0:
+                    flags[thread_id] = False
+        if now - self._window_start + 1 >= self.window:
+            self._close_window(now + 1)
+
+    def _close_window(self, end: int) -> None:
+        span = end - self._window_start
+        self.windows_checked += 1
+        for index, (name, arbiter) in enumerate(self._arbiters):
+            max_service = 2 * arbiter.service_latency
+            for thread_id, share in enumerate(arbiter.shares):
+                if share <= 0 or not self._always_backlogged[index][thread_id]:
+                    continue
+                granted = (
+                    arbiter.service_granted[thread_id]
+                    - self._service_snapshot[index][thread_id]
+                )
+                # 3x max service: a grant straddling each window edge
+                # plus one EDF/non-preemption lag inside the window.
+                guaranteed = share * span - 3 * max_service
+                if granted < guaranteed:
+                    self.violations.append(
+                        ServiceViolation(
+                            window_start=self._window_start,
+                            window_end=end,
+                            bank_resource=name,
+                            thread_id=thread_id,
+                            granted=granted,
+                            guaranteed=guaranteed,
+                        )
+                    )
+        self._window_start = end
+        self._service_snapshot = [
+            list(arbiter.service_granted) for _, arbiter in self._arbiters
+        ]
+        self._always_backlogged = [
+            [True] * self.system.config.n_threads for _ in self._arbiters
+        ]
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def run_monitored(
+    system: CMPSystem, cycles: int, monitor: QoSMonitor
+) -> QoSMonitor:
+    """Advance ``system`` by ``cycles`` with the monitor attached."""
+    for _ in range(cycles):
+        now = system.cycle
+        system.step()
+        monitor.tick(now)
+    return monitor

@@ -1,0 +1,68 @@
+"""QoS accounting: targets, normalized IPC, and monotonicity audits.
+
+Section 5.3 methodology: a thread's *target IPC* is its IPC on a private
+machine provisioned like its VPC (``repro.common.config.private_equivalent``).
+A VPC "meets QoS" when the thread's shared-cache IPC is at least its
+target; excess bandwidth may push it above target, and preemption
+latency may shave a small margin off (Section 4.1.2), so comparisons
+accept a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.common.stats import harmonic_mean
+
+
+@dataclass(frozen=True)
+class QoSOutcome:
+    """One thread's shared-run performance versus its private target."""
+
+    thread_id: int
+    ipc: float
+    target_ipc: float
+
+    @property
+    def normalized(self) -> float:
+        """IPC normalized to target; >= 1 means the QoS objective is met."""
+        if self.target_ipc <= 0:
+            raise ValueError("target IPC must be positive to normalize")
+        return self.ipc / self.target_ipc
+
+    def meets_target(self, tolerance: float = 0.05) -> bool:
+        """True when within ``tolerance`` of (or above) the target.
+
+        The tolerance absorbs preemption-latency artifacts, which the
+        paper acknowledges can shave average performance for
+        latency-sensitive threads at high allocations (Section 4.1.3).
+        """
+        return self.normalized >= 1.0 - tolerance
+
+
+def summarize(outcomes: Sequence[QoSOutcome]) -> Tuple[float, float]:
+    """(harmonic mean, minimum) of normalized IPCs — the headline metrics."""
+    normalized = [o.normalized for o in outcomes]
+    return harmonic_mean(normalized), min(normalized)
+
+
+def monotonicity_violations(
+    points: Sequence[Tuple[float, float]], tolerance: float = 0.02
+) -> List[Tuple[float, float, float, float]]:
+    """Audit performance monotonicity (Section 4.3).
+
+    ``points`` is a list of (resource_amount, performance) pairs.  Returns
+    the adjacent pairs (sorted by resource) where performance *drops* by
+    more than ``tolerance`` relative — each is a monotonicity violation.
+    The paper conjectures the VPC design satisfies monotonicity but does
+    not guarantee it; this audit makes the conjecture checkable.
+    """
+    ordered = sorted(points)
+    violations = []
+    for (res_a, perf_a), (res_b, perf_b) in zip(ordered, ordered[1:]):
+        if perf_a <= 0:
+            continue
+        if perf_b < perf_a * (1.0 - tolerance):
+            violations.append((res_a, perf_a, res_b, perf_b))
+    return violations

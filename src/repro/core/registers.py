@@ -1,0 +1,96 @@
+"""Software-visible VPC control registers (paper Section 4, intro).
+
+"The VPC controller ... has a set of control registers visible to system
+software that specify a VPC configuration for each hardware thread
+sharing the cache.  For each active thread, the control registers
+specify a share of cache capacity (beta_i), and a share of tag array,
+data array, and data bus bandwidths (phi_i)."
+
+The mechanisms allow the three bandwidth resources to be allocated
+independently; the paper (and our experiments) restrict to a single phi
+per thread, but this register file keeps the general form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+BANDWIDTH_RESOURCES = ("tag", "data", "bus")
+
+
+@dataclass
+class VPCControlRegisters:
+    """Per-thread (phi, beta) register file with change notification."""
+
+    n_threads: int
+    bandwidth: Dict[str, List[float]] = field(init=False)
+    capacity: List[float] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise ValueError("need at least one thread")
+        equal = [1.0 / self.n_threads] * self.n_threads
+        self.bandwidth = {res: list(equal) for res in BANDWIDTH_RESOURCES}
+        self.capacity = list(equal)
+        self._listeners = []
+
+    def subscribe(self, callback) -> None:
+        """``callback(resource_name, thread_id, share)`` on every write."""
+        self._listeners.append(callback)
+
+    def write_bandwidth(
+        self, thread_id: int, share: float, resource: str = "all"
+    ) -> None:
+        """Set phi for one thread on one (or all) bandwidth resources."""
+        self._check(thread_id, share)
+        resources = BANDWIDTH_RESOURCES if resource == "all" else (resource,)
+        for res in resources:
+            if res not in self.bandwidth:
+                raise ValueError(f"unknown bandwidth resource {res!r}")
+            shares = self.bandwidth[res]
+            others = sum(s for t, s in enumerate(shares) if t != thread_id)
+            if others + share > 1.0 + 1e-9:
+                raise ValueError(
+                    f"{res}: share {share} for thread {thread_id} over-allocates"
+                )
+            shares[thread_id] = share
+            for listener in self._listeners:
+                listener(res, thread_id, share)
+
+    def write_capacity(self, thread_id: int, share: float) -> None:
+        self._check(thread_id, share)
+        others = sum(s for t, s in enumerate(self.capacity) if t != thread_id)
+        if others + share > 1.0 + 1e-9:
+            raise ValueError("capacity share over-allocates the cache")
+        self.capacity[thread_id] = share
+        for listener in self._listeners:
+            listener("capacity", thread_id, share)
+
+    def load_allocation(
+        self, bandwidth_shares: Sequence[float], capacity_shares: Sequence[float]
+    ) -> None:
+        """Bulk-program the register file (boot-time configuration)."""
+        if len(bandwidth_shares) != self.n_threads:
+            raise ValueError("bandwidth share count mismatch")
+        if len(capacity_shares) != self.n_threads:
+            raise ValueError("capacity share count mismatch")
+        if sum(bandwidth_shares) > 1.0 + 1e-9:
+            raise ValueError("bandwidth shares over-allocate")
+        if sum(capacity_shares) > 1.0 + 1e-9:
+            raise ValueError("capacity shares over-allocate")
+        for res in BANDWIDTH_RESOURCES:
+            self.bandwidth[res] = list(bandwidth_shares)
+        self.capacity = list(capacity_shares)
+        for thread_id in range(self.n_threads):
+            for res in BANDWIDTH_RESOURCES:
+                for listener in self._listeners:
+                    listener(res, thread_id, bandwidth_shares[thread_id])
+            for listener in self._listeners:
+                listener("capacity", thread_id, capacity_shares[thread_id])
+
+    def _check(self, thread_id: int, share: float) -> None:
+        if not 0 <= thread_id < self.n_threads:
+            raise ValueError(f"thread {thread_id} out of range")
+        if not 0.0 <= share <= 1.0:
+            raise ValueError(f"share must be in [0, 1], got {share}")

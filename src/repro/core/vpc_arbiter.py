@@ -1,0 +1,200 @@
+"""The VPC Arbiter (paper Section 4.1).
+
+A fair-queuing arbiter for one shared cache resource.  Hardware state,
+exactly as the paper describes (Figure 3):
+
+* ``R.clk`` — a real-time cycle counter (we use the ``now`` argument);
+* ``R.L[i]`` — thread *i*'s virtual service time ``L / phi_i``, where
+  ``L`` is the resource latency.  Recomputed only when the share changes;
+* ``R.S[i]`` — the virtual time thread *i*'s virtual private resource
+  next becomes available.
+
+Per-request equations (Section 4.1.1):
+
+* Eq. 3': ``S_i^k = R.S[i]`` — the optimized start-time, valid because of
+  the Eq. 6 maintenance rule;
+* Eq. 4:  ``F_i^k = S_i^k + R.L[i]`` (``+ 2 R.L[i]`` for a data-array
+  write, generalized here via ``service_quanta``);
+* Eq. 5:  on grant, ``R.S[i] <- F_i^k``;
+* Eq. 6:  on enqueue into an *empty* thread buffer, if ``R.S[i] <=
+  R.clk`` then ``R.S[i] <- R.clk``.
+
+The arbiter grants the thread with the earliest virtual finish time
+(EDF).  Because ``R.S[i]`` depends only on how much service the thread
+has received — not on *which* request is served — requests inside a
+thread's buffer may be reordered freely; we implement the paper's
+Read-over-Write intra-thread optimization (Section 4.1.1, last
+paragraph), controllable via ``intra_thread_row`` for the ablation study.
+
+Zero-share threads ("VPC 0 %" in Figure 8) have an infinite virtual
+service time: they are served only when every finite-share buffer is
+empty (the fairness policy's work-conserving excess distribution), FCFS
+among themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+from repro.core.arbiter import Arbiter, ArbiterEntry
+
+
+class VPCArbiter(Arbiter):
+    """Fair-queuing arbiter for a single shared resource."""
+
+    def __init__(
+        self,
+        n_threads: int,
+        shares: Sequence[float],
+        service_latency: int,
+        intra_thread_row: bool = True,
+        selection: str = "finish",
+    ) -> None:
+        super().__init__(n_threads)
+        if len(shares) != n_threads:
+            raise ValueError(
+                f"{len(shares)} shares supplied for {n_threads} threads"
+            )
+        if service_latency <= 0:
+            raise ValueError(f"service latency must be positive: {service_latency}")
+        if selection not in ("finish", "start"):
+            raise ValueError(
+                f"selection must be 'finish' (EDF/WFQ) or 'start' (SFQ), "
+                f"got {selection!r}"
+            )
+        # "finish" = earliest-virtual-finish-first, the paper's policy.
+        # "start" = earliest-virtual-start-first (start-time fair
+        # queuing), an alternative fairness policy for the comparison the
+        # paper defers to future work (Section 4.1.3): SFQ is gentler on
+        # threads with large service quanta (writes) when distributing
+        # excess bandwidth.
+        self.selection = selection
+        if sum(shares) > 1.0 + 1e-9:
+            raise ValueError(f"shares over-allocate the resource: {list(shares)}")
+        if any(s < 0 for s in shares):
+            raise ValueError(f"negative share in {list(shares)}")
+
+        self.service_latency = service_latency
+        self.intra_thread_row = intra_thread_row
+        self._shares: List[float] = list(shares)
+        # R.L[i] = L / phi_i  (infinite for zero-share threads).
+        self._r_l: List[float] = [self._virtual_service(s) for s in shares]
+        # R.S[i]: virtual availability time of thread i's virtual resource.
+        self._r_s: List[float] = [0.0] * n_threads
+        self._buffers: List[Deque[ArbiterEntry]] = [deque() for _ in range(n_threads)]
+        # Instrumentation: real service cycles granted per thread.
+        self.service_granted: List[int] = [0] * n_threads
+
+    # ------------------------------------------------------------------ #
+    # Control-register interface (software-visible, Section 4 intro).
+    # ------------------------------------------------------------------ #
+
+    def _virtual_service(self, share: float) -> float:
+        if share == 0.0:
+            return math.inf
+        return self.service_latency / share
+
+    @property
+    def shares(self) -> List[float]:
+        return list(self._shares)
+
+    def set_share(self, thread_id: int, share: float) -> None:
+        """Change a thread's bandwidth allocation at run time.
+
+        The paper notes R.L only needs recomputation on share changes;
+        R.S is left alone so in-progress virtual time stays consistent.
+        """
+        if not 0.0 <= share <= 1.0:
+            raise ValueError(f"share must be in [0, 1], got {share}")
+        others = sum(s for t, s in enumerate(self._shares) if t != thread_id)
+        if others + share > 1.0 + 1e-9:
+            raise ValueError("share change would over-allocate the resource")
+        self._shares[thread_id] = share
+        self._r_l[thread_id] = self._virtual_service(share)
+
+    # ------------------------------------------------------------------ #
+    # Arbitration.
+    # ------------------------------------------------------------------ #
+
+    def enqueue(self, entry: ArbiterEntry, now: int) -> None:
+        self._check_thread(entry)
+        entry.arrival = now
+        tid = entry.thread_id
+        if not self._buffers[tid] and self._r_s[tid] <= now:
+            self._r_s[tid] = float(now)  # Eq. 6
+        self._buffers[tid].append(entry)
+
+    def select(self, now: int) -> Optional[ArbiterEntry]:
+        best_tid = -1
+        best_key = (math.inf, math.inf, math.inf)
+        best_finish = math.inf
+        best_entry: Optional[ArbiterEntry] = None
+        for tid, buffer in enumerate(self._buffers):
+            if not buffer:
+                continue
+            entry = self._pick_within_thread(buffer)
+            finish = self._r_s[tid] + entry.service_quanta * self._r_l[tid]
+            if self.selection == "start":
+                # SFQ: order by virtual start; infinite-R.L threads still
+                # sort last via the finish value.
+                rank = self._r_s[tid] if finish != math.inf else math.inf
+            else:
+                rank = finish
+            key = (rank, float(entry.arrival), float(entry.order))
+            if key < best_key:
+                best_key = key
+                best_tid = tid
+                best_entry = entry
+                best_finish = finish
+        if best_entry is None:
+            return None
+
+        self._buffers[best_tid].remove(best_entry)
+        if best_finish != math.inf:
+            self._r_s[best_tid] = best_finish  # Eq. 5
+        self.service_granted[best_tid] += (
+            best_entry.service_quanta * self.service_latency
+        )
+        self.grants += 1
+        return best_entry
+
+    def _pick_within_thread(self, buffer: Deque[ArbiterEntry]) -> ArbiterEntry:
+        """Intra-thread candidate: oldest demand read, else oldest
+        prefetch read, else oldest entry (Read-over-Write plus the
+        demand-over-prefetch ordering Section 4.1.1 mentions).
+
+        Legal per Section 4.1.1: any request in the thread's buffer may be
+        served without changing the thread's bandwidth accounting.
+        """
+        if not self.intra_thread_row:
+            return buffer[0]
+        prefetch_read = None
+        for entry in buffer:
+            if entry.is_write:
+                continue
+            if not entry.is_prefetch:
+                return entry
+            if prefetch_read is None:
+                prefetch_read = entry
+        return prefetch_read if prefetch_read is not None else buffer[0]
+
+    def __len__(self) -> int:
+        return sum(len(buffer) for buffer in self._buffers)
+
+    def pending_for(self, thread_id: int) -> int:
+        return len(self._buffers[thread_id])
+
+    def virtual_finish_preview(self, thread_id: int) -> float:
+        """The virtual finish time the thread's next grant would get.
+
+        Exposed for tests and for the fairness-policy analysis: the paper
+        observes this value doubles as an indicator of excess service
+        received (Section 4.1.3).
+        """
+        buffer = self._buffers[thread_id]
+        if not buffer:
+            return math.inf
+        entry = self._pick_within_thread(buffer)
+        return self._r_s[thread_id] + entry.service_quanta * self._r_l[thread_id]

@@ -1,0 +1,17 @@
+"""Processor substrate: segment-trace ISA and the window/MLP core model."""
+
+from repro.cpu.core_model import CoreModel
+from repro.cpu.smt import SMTCoreModel
+from repro.cpu.isa import LOAD, NONMEM, STORE, instruction_count, load, nonmem, store
+
+__all__ = [
+    "LOAD",
+    "NONMEM",
+    "STORE",
+    "CoreModel",
+    "SMTCoreModel",
+    "instruction_count",
+    "load",
+    "nonmem",
+    "store",
+]

@@ -1,0 +1,73 @@
+"""Trace-item vocabulary consumed by the core model.
+
+Workloads are *segment traces*: an iterator of plain tuples (kept as
+tuples, not objects, for simulation speed):
+
+* ``("N", count)`` — a run of ``count`` non-memory instructions, retired
+  arithmetically at issue width;
+* ``("L", addr, dependent)`` — a load; when ``dependent`` is true the
+  load cannot dispatch until every earlier load has completed (models
+  pointer-chasing / low memory-level parallelism);
+* ``("S", addr)`` — a store (write-through to L2).
+
+This abstraction captures exactly the levers the paper's evaluation
+depends on — memory intensity, read/write mix, spatial locality, and
+MLP — without simulating individual register dependences.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple, Union
+
+NonMem = Tuple[str, int]
+Load = Tuple[str, int, bool]
+Store = Tuple[str, int]
+TraceItem = Union[NonMem, Load, Store]
+
+NONMEM = "N"
+LOAD = "L"
+STORE = "S"
+
+
+def nonmem(count: int) -> NonMem:
+    if count < 1:
+        raise ValueError(f"non-memory run must be >= 1, got {count}")
+    return (NONMEM, count)
+
+
+def load(addr: int, dependent: bool = False) -> Load:
+    if addr < 0:
+        raise ValueError("negative address")
+    return (LOAD, addr, dependent)
+
+
+def store(addr: int) -> Store:
+    if addr < 0:
+        raise ValueError("negative address")
+    return (STORE, addr)
+
+
+def instruction_count(items) -> int:
+    """Total instructions represented by a finite trace (for tests)."""
+    total = 0
+    for item in items:
+        total += item[1] if item[0] == NONMEM else 1
+    return total
+
+
+def validate_trace(items) -> Iterator[TraceItem]:
+    """Pass-through validator for finite traces (testing aid)."""
+    for item in items:
+        kind = item[0]
+        if kind == NONMEM:
+            if item[1] < 1:
+                raise ValueError(f"bad non-memory run: {item}")
+        elif kind == LOAD:
+            if item[1] < 0 or not isinstance(item[2], bool):
+                raise ValueError(f"bad load: {item}")
+        elif kind == STORE:
+            if item[1] < 0:
+                raise ValueError(f"bad store: {item}")
+        else:
+            raise ValueError(f"unknown trace item kind: {item}")
+        yield item

@@ -1,0 +1,66 @@
+"""Terminal bar charts for experiment results.
+
+The paper's artifacts are figures; ``python -m repro.experiments fig6
+--chart`` renders each numeric column of the regenerated table as a
+horizontal bar chart, so the *shape* (the thing EXPERIMENTS.md compares)
+is visible at a glance without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.experiments.base import ExperimentResult
+
+BAR = "#"
+DEFAULT_WIDTH = 48
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str,
+    width: int = DEFAULT_WIDTH,
+    max_value: Optional[float] = None,
+) -> str:
+    """One horizontal bar per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values differ in length")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    finite = [v for v in values if isinstance(v, (int, float)) and math.isfinite(v)]
+    scale = max_value if max_value is not None else max(finite, default=0.0)
+    label_width = max((len(str(label)) for label in labels), default=0)
+    lines = [title]
+    for label, value in zip(labels, values):
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            lines.append(f"  {str(label):>{label_width}}        (n/a)")
+            continue
+        filled = 0 if scale <= 0 else round(width * max(value, 0.0) / scale)
+        filled = min(filled, width)
+        lines.append(
+            f"  {str(label):>{label_width}} {value:8.3f} {BAR * filled}"
+        )
+    return "\n".join(lines)
+
+
+def numeric_columns(result: ExperimentResult) -> List[str]:
+    """Headers whose column holds at least one finite number."""
+    columns = []
+    for header in result.headers[1:]:
+        values = result.column(header)
+        if any(isinstance(v, (int, float)) and not isinstance(v, bool)
+               and math.isfinite(v) for v in values):
+            columns.append(header)
+    return columns
+
+
+def render_result(result: ExperimentResult, width: int = DEFAULT_WIDTH) -> str:
+    """Chart every numeric column against the first (label) column."""
+    labels = [str(row[0]) for row in result.rows]
+    charts = [f"== {result.exp_id}: {result.title} =="]
+    for header in numeric_columns(result):
+        charts.append(render_bars(labels, result.column(header),
+                                  title=f"[{header}]", width=width))
+    return "\n\n".join(charts)

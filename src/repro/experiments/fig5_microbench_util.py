@@ -1,0 +1,52 @@
+"""Figure 5: microbenchmark L2 cache utilization vs. bank count.
+
+Runs each microbenchmark alone on 2/4/8/16-bank configurations and
+reports tag-array, data-array, and data-bus utilization.  Paper shape:
+Loads fully utilizes 2 banks and ~80 % of 4; Stores keeps the data
+array busy out to 8 banks; for Loads, data-bus and data-array
+utilizations match (the design is balanced).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import VPCAllocation, baseline_config
+from repro.experiments.base import ExperimentResult, register
+from repro.system.cmp import CMPSystem
+from repro.system.simulator import run_simulation
+from repro.workloads.microbench import MICROBENCHMARKS
+
+BANK_COUNTS = (2, 4, 8, 16)
+
+
+@register("fig5")
+def run(fast: bool = False) -> ExperimentResult:
+    # The 32KB arrays only become L2-resident after a DRAM-bandwidth-bound
+    # first pass, so even fast mode needs a real warmup.
+    warmup, measure = (25_000, 8_000) if fast else (45_000, 30_000)
+    bank_counts = (2, 4) if fast else BANK_COUNTS
+    rows = []
+    for name, factory in MICROBENCHMARKS.items():
+        for banks in bank_counts:
+            config = baseline_config(
+                n_threads=1, banks=banks, arbiter="row-fcfs",
+                vpc=VPCAllocation([1.0], [1.0]),
+            )
+            system = CMPSystem(config, [factory(0)])
+            result = run_simulation(system, warmup=warmup, measure=measure)
+            rows.append((
+                f"{name} {banks}B",
+                result.utilizations["data"],
+                result.utilizations["bus"],
+                result.utilizations["tag"],
+                result.ipcs[0],
+            ))
+    return ExperimentResult(
+        exp_id="fig5",
+        title="L2 cache utilization of the microbenchmarks vs. bank count",
+        headers=["config", "data_array", "data_bus", "tag_array", "ipc"],
+        rows=rows,
+        notes=[
+            "paper: Loads saturates 2 banks (~80% at 4); Stores saturates "
+            "the data array out to 8 banks; Loads data bus == data array",
+        ],
+    )

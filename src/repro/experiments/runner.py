@@ -1,0 +1,63 @@
+"""Experiment CLI: ``python -m repro.experiments <id>... [--fast]``.
+
+``<id>`` is any key printed by ``--list`` (table1, table2, fig4..fig10,
+ablation-*), or ``all``.  ``--fast`` runs the reduced-fidelity variant
+used by the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.base import REGISTRY, ExperimentResult
+
+
+def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
+    if exp_id not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(REGISTRY)}"
+        )
+    return REGISTRY[exp_id](fast=fast)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids, or 'all'")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced-fidelity runs (tests/CI)")
+    parser.add_argument("--chart", action="store_true",
+                        help="render numeric columns as bar charts")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiment ids")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for exp_id in sorted(REGISTRY):
+            print(exp_id)
+        return 0
+
+    requested = args.experiments
+    if requested == ["all"]:
+        requested = sorted(REGISTRY)
+
+    for exp_id in requested:
+        started = time.time()
+        result = run_experiment(exp_id, fast=args.fast)
+        if args.chart:
+            from repro.experiments.charts import render_result
+            print(render_result(result))
+        else:
+            print(result.format_table())
+        print(f"({time.time() - started:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

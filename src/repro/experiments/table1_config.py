@@ -1,0 +1,49 @@
+"""Table 1: the modelled 2 GHz CMP system configuration."""
+
+from __future__ import annotations
+
+from repro.common.config import baseline_config
+from repro.experiments.base import ExperimentResult, register
+
+
+@register("table1")
+def run(fast: bool = False) -> ExperimentResult:
+    config = baseline_config()
+    rows = [
+        ("Processors", f"{config.n_threads} processors"),
+        ("Issue width", f"{config.core.issue_width} per dispatch group"),
+        ("Reorder window", f"{config.core.window_size} instructions"),
+        ("Load/store queues",
+         f"{config.core.load_queue} load / {config.core.store_queue} store"),
+        ("D-Cache",
+         f"{config.l1.size_bytes // 1024}KB private, {config.l1.ways}-way, "
+         f"{config.l1.line_size}B lines, {config.l1.latency}-cycle, "
+         f"{config.l1.mshrs} MSHRs"),
+        ("L1-to-L2 interconnect",
+         f"{config.crossbar.latency}-cycle crossbar, "
+         f"{config.l2.bus_bytes_per_beat}B data bus per bank"),
+        ("Store gathering buffer",
+         f"{config.l2.sgb_entries} entries/thread, read bypassing, "
+         f"retire-at-{config.l2.sgb_high_water}, partial flush"),
+        ("L2 cache",
+         f"{config.l2.banks} banks, {config.l2.size_bytes // (1024*1024)}MB, "
+         f"{config.l2.ways}-way, {config.l2.line_size}B lines, "
+         f"{config.l2.state_machines_per_thread} SMs/thread/bank, "
+         f"{config.l2.tag_latency}-cycle tag, "
+         f"{config.l2.data_read_latency}-cycle data array"),
+        ("Memory controller",
+         f"{config.memory.transaction_buffer} transaction / "
+         f"{config.memory.write_buffer} write entries per thread, closed page"),
+        ("SDRAM",
+         f"{config.memory.channels_per_thread} channel/thread, "
+         f"{config.memory.ranks_per_channel} ranks, "
+         f"{config.memory.banks_per_rank} banks/rank, DDR2-800 timing "
+         f"({config.memory.t_rcd}-{config.memory.t_cl}-{config.memory.t_rp})"),
+    ]
+    return ExperimentResult(
+        exp_id="table1",
+        title="2 GHz CMP system configuration (latencies in processor cycles)",
+        headers=["parameter", "value"],
+        rows=rows,
+        notes=["mirrors paper Table 1; see repro.common.config defaults"],
+    )

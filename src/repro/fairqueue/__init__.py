@@ -1,0 +1,52 @@
+"""Standalone network fair-queuing library (paper Section 3.2).
+
+The VPC arbiters in :mod:`repro.core` are derived from this algebra; the
+package is usable on its own for link-scheduling experiments and is
+cross-checked against the arbiters by the property-based tests.
+"""
+
+from repro.fairqueue.bounds import (
+    Violation,
+    audit_all,
+    audit_bandwidth,
+    audit_deadlines,
+    audit_work_conservation,
+)
+from repro.fairqueue.scheduler import (
+    Arrival,
+    FairQueueScheduler,
+    ServiceRecord,
+    backlogged_intervals,
+    service_by_flow,
+)
+from repro.fairqueue.virtual_time import (
+    FlowState,
+    PacketTags,
+    deadline_bound,
+    min_service_in_interval,
+    shares_feasible,
+    virtual_finish,
+    virtual_service_time,
+    virtual_start,
+)
+
+__all__ = [
+    "Arrival",
+    "FairQueueScheduler",
+    "FlowState",
+    "PacketTags",
+    "ServiceRecord",
+    "Violation",
+    "audit_all",
+    "audit_bandwidth",
+    "audit_deadlines",
+    "audit_work_conservation",
+    "backlogged_intervals",
+    "deadline_bound",
+    "min_service_in_interval",
+    "service_by_flow",
+    "shares_feasible",
+    "virtual_finish",
+    "virtual_service_time",
+    "virtual_start",
+]

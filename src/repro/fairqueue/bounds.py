@@ -1,0 +1,138 @@
+"""Analytic QoS bounds and schedule auditing (Sections 3.2 and 4.1.2).
+
+These functions check a produced schedule against the guarantees the
+paper relies on:
+
+* **Deadline bound** — with EDF over virtual finish times and a
+  non-preemptible server, every packet completes by
+  ``virtual_finish + max_preemption_latency``.
+* **Bandwidth guarantee** — over any interval in which a flow stays
+  backlogged, it receives at least ``phi * interval - max_packet`` of
+  service.
+* **Work conservation** — the link never idles while any packet is
+  queued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.fairqueue.scheduler import (
+    Arrival,
+    ServiceRecord,
+    backlogged_intervals,
+)
+from repro.fairqueue.virtual_time import deadline_bound, min_service_in_interval
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single audited-guarantee failure, with enough context to debug."""
+
+    kind: str
+    flow_id: int
+    detail: str
+
+
+def audit_deadlines(
+    records: Sequence[ServiceRecord], max_preemption_latency: float
+) -> List[Violation]:
+    """Check every finite-tag service against the EDF deadline bound."""
+    violations = []
+    for rec in records:
+        if rec.virtual_finish == float("inf"):
+            continue  # zero-share flows have no deadline
+        latest = deadline_bound(rec.virtual_finish, max_preemption_latency)
+        if rec.finish > latest + 1e-9:
+            violations.append(
+                Violation(
+                    kind="deadline",
+                    flow_id=rec.flow_id,
+                    detail=(
+                        f"finished {rec.finish:.3f} > bound {latest:.3f} "
+                        f"(tag {rec.virtual_finish:.3f})"
+                    ),
+                )
+            )
+    return violations
+
+
+def audit_bandwidth(
+    arrivals: Sequence[Arrival],
+    records: Sequence[ServiceRecord],
+    shares: Sequence[float],
+    max_packet: float,
+) -> List[Violation]:
+    """Check the per-backlogged-interval minimum-service guarantee."""
+    violations = []
+    for flow_id, share in enumerate(shares):
+        if share <= 0:
+            continue
+        for start, end in backlogged_intervals(list(arrivals), list(records), flow_id):
+            got = sum(
+                r.length
+                for r in records
+                if r.flow_id == flow_id and start <= r.finish <= end
+            )
+            owed = min_service_in_interval(share, end - start, max_packet)
+            if got + 1e-9 < owed:
+                violations.append(
+                    Violation(
+                        kind="bandwidth",
+                        flow_id=flow_id,
+                        detail=(
+                            f"interval [{start:.3f},{end:.3f}]: got {got:.3f} "
+                            f"< guaranteed {owed:.3f}"
+                        ),
+                    )
+                )
+    return violations
+
+
+def audit_work_conservation(
+    arrivals: Sequence[Arrival], records: Sequence[ServiceRecord]
+) -> List[Violation]:
+    """The server must not idle while work is pending.
+
+    Detect by walking services in start order: any gap between consecutive
+    services must be explained by an empty system (all queued packets
+    already served and none arrived during the gap).
+    """
+    violations: List[Violation] = []
+    ordered = sorted(records, key=lambda r: r.start)
+    served_ids = 0
+    now = 0.0
+    arr_sorted = sorted(arrivals, key=lambda a: a.time)
+    for rec in ordered:
+        if rec.start > now + 1e-9:
+            # Gap (now, rec.start): was anything waiting at time `now`?
+            arrived = sum(1 for a in arr_sorted if a.time <= now + 1e-9)
+            if arrived > served_ids:
+                violations.append(
+                    Violation(
+                        kind="work-conservation",
+                        flow_id=rec.flow_id,
+                        detail=(
+                            f"idle in ({now:.3f},{rec.start:.3f}) with "
+                            f"{arrived - served_ids} packets queued"
+                        ),
+                    )
+                )
+        now = max(now, rec.finish)
+        served_ids += 1
+    return violations
+
+
+def audit_all(
+    arrivals: Sequence[Arrival],
+    records: Sequence[ServiceRecord],
+    shares: Sequence[float],
+) -> Dict[str, List[Violation]]:
+    """Run every audit; keys are audit names, values are violations."""
+    max_packet = max((a.length for a in arrivals), default=0.0)
+    return {
+        "deadline": audit_deadlines(records, max_packet),
+        "bandwidth": audit_bandwidth(arrivals, records, shares, max_packet),
+        "work_conservation": audit_work_conservation(arrivals, records),
+    }

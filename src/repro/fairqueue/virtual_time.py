@@ -1,0 +1,121 @@
+"""Virtual-time algebra for fair queuing (paper Section 3.2, Eqs. 1-2).
+
+A flow ``i`` with share ``0 < phi_i <= 1`` of a link sees each packet of
+length ``L`` as a *virtual service time* ``L / phi_i``.  Packet ``k``'s
+virtual start-time is the later of its arrival and the previous packet's
+virtual finish-time (Eq. 1); its virtual finish-time adds the virtual
+service time (Eq. 2).  Serving earliest-virtual-finish-first yields EDF
+scheduling with the minimum-bandwidth guarantee discussed in the paper.
+
+This module is deliberately independent of the cache simulator: it is the
+reference algebra the VPC arbiter (``repro.core.vpc_arbiter``) is derived
+from, and the property tests cross-check the two.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+INFINITE_SHARE_TIME = math.inf
+
+
+def virtual_service_time(length: float, share: float) -> float:
+    """``L / phi`` — Eq. 2's increment.  A zero share yields infinity.
+
+    The paper's "VPC 0 %" configurations allocate a thread no bandwidth;
+    such flows are represented with an infinite virtual service time and
+    are only served when the link would otherwise idle.
+    """
+    if length < 0:
+        raise ValueError(f"negative packet length: {length}")
+    if share < 0 or share > 1:
+        raise ValueError(f"share must be in [0, 1], got {share}")
+    if share == 0:
+        return INFINITE_SHARE_TIME
+    return length / share
+
+
+def virtual_start(arrival: float, prev_finish: float) -> float:
+    """Eq. 1: ``S_i^k = max(a_i^k, F_i^{k-1})``."""
+    return max(arrival, prev_finish)
+
+
+def virtual_finish(start: float, length: float, share: float) -> float:
+    """Eq. 2: ``F_i^k = S_i^k + L_i^k / phi_i``."""
+    return start + virtual_service_time(length, share)
+
+
+@dataclass
+class FlowState:
+    """Per-flow virtual-time bookkeeping (one network flow / one thread)."""
+
+    flow_id: int
+    share: float
+    last_finish: float = 0.0
+    packets_served: int = 0
+    service_received: float = 0.0
+    _starts: List[float] = field(default_factory=list)
+
+    def tag(self, arrival: float, length: float) -> "PacketTags":
+        """Stamp a packet with its virtual start/finish times."""
+        start = virtual_start(arrival, self.last_finish)
+        finish = virtual_finish(start, length, self.share)
+        self.last_finish = finish
+        self._starts.append(start)
+        return PacketTags(self.flow_id, arrival, length, start, finish)
+
+    def record_service(self, length: float) -> None:
+        self.packets_served += 1
+        self.service_received += length
+
+
+@dataclass(frozen=True)
+class PacketTags:
+    """A packet's identity plus its virtual start/finish stamps."""
+
+    flow_id: int
+    arrival: float
+    length: float
+    virtual_start: float
+    virtual_finish: float
+
+    def __post_init__(self) -> None:
+        if self.virtual_finish < self.virtual_start:
+            raise ValueError("virtual finish precedes virtual start")
+
+
+def min_service_in_interval(
+    share: float, interval: float, max_packet_time: float
+) -> float:
+    """Lower bound on service a backlogged flow receives in ``interval``.
+
+    The classic FQ guarantee: a continuously backlogged flow with share
+    ``phi`` receives at least ``phi * interval - max_packet_time`` units of
+    service over any interval (the one-packet term is the preemption /
+    non-preemptibility penalty, Section 3.2).
+    """
+    if interval < 0:
+        raise ValueError("interval must be non-negative")
+    return max(0.0, share * interval - max_packet_time)
+
+
+def deadline_bound(
+    finish_tag: float, max_preemption_latency: float
+) -> float:
+    """Latest real completion time under EDF with a non-preemptible server.
+
+    Section 3.2: "a request will finish its service no later than the
+    <deadline> + <max preemption latency>" provided the link is not
+    over-allocated.
+    """
+    return finish_tag + max_preemption_latency
+
+
+def shares_feasible(shares: List[float], tolerance: float = 1e-9) -> bool:
+    """True when the allocation does not oversubscribe the link."""
+    if any(s < 0 for s in shares):
+        return False
+    return sum(shares) <= 1.0 + tolerance

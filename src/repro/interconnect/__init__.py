@@ -1,0 +1,5 @@
+"""Core <-> L2 interconnect."""
+
+from repro.interconnect.crossbar import Crossbar
+
+__all__ = ["Crossbar"]

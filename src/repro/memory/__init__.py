@@ -1,0 +1,7 @@
+"""DDR2 memory substrate: per-thread channels behind an on-chip controller."""
+
+from repro.memory.controller import MemoryController
+from repro.memory.dram import DRAMChannel
+from repro.memory.fq_scheduler import SharedDRAMChannel
+
+__all__ = ["DRAMChannel", "MemoryController", "SharedDRAMChannel"]

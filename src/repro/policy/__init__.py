@@ -1,0 +1,10 @@
+"""Software allocation policies driving the VPC control registers.
+
+The paper scopes allocation *policy* out ("presumably through a
+combination of application and system software"); this package supplies
+reference policies a system integrator can start from.
+"""
+
+from repro.policy.feedback import AllocationDecision, FeedbackAllocator
+
+__all__ = ["AllocationDecision", "FeedbackAllocator"]

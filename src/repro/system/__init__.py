@@ -1,0 +1,14 @@
+"""Whole-CMP assembly, simulation driver, and metrics."""
+
+from repro.system.cmp import CMPSystem
+from repro.system.metrics import qos_outcomes, target_ipc, workload_summary
+from repro.system.simulator import SimulationResult, run_simulation
+
+__all__ = [
+    "CMPSystem",
+    "SimulationResult",
+    "qos_outcomes",
+    "run_simulation",
+    "target_ipc",
+    "workload_summary",
+]

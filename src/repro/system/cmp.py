@@ -1,0 +1,249 @@
+"""Full CMP assembly: cores + L1s + crossbar + banked L2 + memory.
+
+This wires every substrate together according to a
+:class:`~repro.common.config.SystemConfig` and steps the whole machine
+one processor cycle at a time.  The arbiter policy and the capacity
+policy are injected here from the configuration:
+
+* ``arbiter="fcfs"`` / ``"row-fcfs"`` — the paper's baselines;
+* ``arbiter="vpc"`` — one :class:`~repro.core.vpc_arbiter.VPCArbiter`
+  per shared resource per bank, programmed from the VPC control
+  registers.
+
+Capacity is managed by the VPC Capacity Manager in all multi-thread
+configurations (the paper does the same — Section 4.3 explains that an
+unfair capacity manager would confound the arbiter evaluation); plain
+shared LRU is available for the capacity ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.cache.l2 import SharedL2
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy
+from repro.common.config import SystemConfig
+from repro.common.records import MemoryRequest
+from repro.core.capacity import VPCCapacityManager
+from repro.core.arbiter import Arbiter, FCFSArbiter, RoWFCFSArbiter
+from repro.core.registers import VPCControlRegisters
+from repro.core.vpc_arbiter import VPCArbiter
+from repro.cpu.core_model import CoreModel
+from repro.cpu.isa import TraceItem
+from repro.interconnect.crossbar import Crossbar
+from repro.memory.controller import MemoryController
+
+
+class CMPSystem:
+    """A complete simulated chip multiprocessor."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: List[Iterator[TraceItem]],
+        capacity_policy: str = "vpc",
+        intra_thread_row: bool = True,
+        vpc_selection: str = "finish",
+        record_requests: bool = False,
+        smt_degree: int = 1,
+    ) -> None:
+        config.validate()
+        if len(traces) != config.n_threads:
+            raise ValueError(
+                f"{len(traces)} traces for {config.n_threads} threads"
+            )
+        if capacity_policy not in ("vpc", "lru"):
+            raise ValueError(f"unknown capacity policy {capacity_policy!r}")
+        self.config = config
+        self.cycle = 0
+        self.intra_thread_row = intra_thread_row
+        self.vpc_selection = vpc_selection
+        self.record_requests = record_requests
+        # Completed-request log for repro.analysis (loads only; store
+        # acks carry no interesting timing).
+        self.request_log: List[MemoryRequest] = []
+
+        self.registers = VPCControlRegisters(config.n_threads)
+        self.registers.load_allocation(
+            config.vpc.bandwidth_shares, config.vpc.capacity_shares
+        )
+
+        self.memory = MemoryController(
+            config.memory, config.n_threads,
+            shares=config.vpc.bandwidth_shares,
+        )
+        self.crossbar = Crossbar(config.n_threads, config.crossbar)
+
+        # VPC arbiters grouped by the resource they guard ("tag", "data",
+        # "bus"), so per-resource control-register writes reach exactly
+        # the right arbiters (the paper's general allocation form).
+        self._vpc_arbiters: Dict[str, List[VPCArbiter]] = {
+            "tag": [], "data": [], "bus": [], "l3": [],
+        }
+        # Optional shared L3: sits between the L2 banks and memory,
+        # implementing the same memory-side interface.
+        self.l3 = None
+        if config.l3 is not None:
+            from repro.cache.l3 import SharedL3
+            self.l3 = SharedL3(
+                config=config.l3,
+                n_threads=config.n_threads,
+                arbiter=self._make_arbiter("l3", config.l3.port_occupancy),
+                policy=self._make_capacity_policy(capacity_policy,
+                                                  ways=config.l3.ways),
+                memory=self.memory,
+            )
+        backing = self.l3 if self.l3 is not None else self.memory
+        self.l2 = SharedL2(
+            config=config.l2,
+            n_threads=config.n_threads,
+            arbiter_factory=self._make_arbiter,
+            policy_factory=lambda: self._make_capacity_policy(capacity_policy),
+            respond=self._respond,
+            memory=backing,
+        )
+        self.banks = self.l2.banks  # convenient direct access in tests
+
+        if smt_degree < 1:
+            raise ValueError("smt_degree must be >= 1")
+        if config.n_threads % smt_degree:
+            raise ValueError(
+                f"{config.n_threads} threads not divisible by SMT degree "
+                f"{smt_degree}"
+            )
+        self.smt_degree = smt_degree
+        if smt_degree == 1:
+            self.cores = [
+                CoreModel(
+                    core_id=tid,
+                    config=config.core,
+                    l1_config=config.l1,
+                    trace=trace,
+                    send_request=self._send_request,
+                )
+                for tid, trace in enumerate(traces)
+            ]
+            self._core_of_thread = list(self.cores)
+        else:
+            # The paper's "most general case": multi-threaded processors
+            # with shared L1 caches (Section 1.1).
+            from repro.cpu.smt import SMTCoreModel
+            self.cores = []
+            self._core_of_thread = [None] * config.n_threads
+            for start in range(0, config.n_threads, smt_degree):
+                thread_ids = list(range(start, start + smt_degree))
+                core = SMTCoreModel(
+                    thread_ids=thread_ids,
+                    config=config.core,
+                    l1_config=config.l1,
+                    traces=[traces[tid] for tid in thread_ids],
+                    send_request=self._send_request,
+                )
+                self.cores.append(core)
+                for tid in thread_ids:
+                    self._core_of_thread[tid] = core
+
+        # Let software share-register writes reprogram the live arbiters.
+        self.registers.subscribe(self._on_register_write)
+
+    # ------------------------------------------------------------------ #
+    # Component factories and wiring callbacks.
+    # ------------------------------------------------------------------ #
+
+    def _make_capacity_policy(
+        self, capacity_policy: str, ways: Optional[int] = None
+    ) -> ReplacementPolicy:
+        if ways is None:
+            ways = self.config.l2.ways
+        if capacity_policy == "vpc" and self.config.n_threads > 1:
+            return VPCCapacityManager(self.config.vpc.capacity_shares, ways)
+        return LRUPolicy()
+
+    def _make_arbiter(self, resource: str, base_latency: int) -> Arbiter:
+        name = self.config.arbiter
+        if name == "fcfs":
+            return FCFSArbiter(self.config.n_threads)
+        if name == "row-fcfs":
+            return RoWFCFSArbiter(self.config.n_threads)
+        arbiter = VPCArbiter(
+            self.config.n_threads,
+            self.config.vpc.bandwidth_shares,
+            base_latency,
+            intra_thread_row=self.intra_thread_row,
+            selection=self.vpc_selection,
+        )
+        self._vpc_arbiters[resource].append(arbiter)
+        return arbiter
+
+    def _on_register_write(self, resource: str, thread_id: int, share: float) -> None:
+        if resource == "capacity" or self.config.arbiter != "vpc":
+            return
+        for arbiter in self._vpc_arbiters[resource]:
+            arbiter.set_share(thread_id, share)
+        if resource == "data":
+            # The L3 port tracks the data-array allocation (no separate
+            # architected register in this model).
+            for arbiter in self._vpc_arbiters["l3"]:
+                arbiter.set_share(thread_id, share)
+
+    def _send_request(self, core_id: int, request: MemoryRequest, now: int) -> None:
+        self.crossbar.send_request(core_id, request, now)
+
+    def _respond(self, request: MemoryRequest, now: int) -> None:
+        if self.record_requests and request.is_read:
+            self.request_log.append(request)
+        self.crossbar.send_response(request.thread_id, request, now)
+
+    # ------------------------------------------------------------------ #
+    # Simulation stepping.
+    # ------------------------------------------------------------------ #
+
+    def bank_of(self, line: int) -> int:
+        return self.l2.bank_of(line)
+
+    def step(self) -> None:
+        """Advance the whole machine one processor cycle."""
+        now = self.cycle
+        for tid in range(self.config.n_threads):
+            core = self._core_of_thread[tid]
+            for response in self.crossbar.deliver_responses(tid, now):
+                core.on_response(response, now)
+        for core in self.cores:
+            core.tick(now)
+        for core_id in range(self.config.n_threads):
+            for request in self.crossbar.deliver_requests(core_id, now):
+                self.l2.accept(request, now)
+        self.l2.tick(now)
+        if self.l3 is not None:
+            self.l3.tick(now)
+        self.memory.tick(now)
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    # ------------------------------------------------------------------ #
+    # Reporting helpers (interval-aware reporting lives in simulator.py).
+    # ------------------------------------------------------------------ #
+
+    def thread_dispatched(self, thread_id: int) -> int:
+        """Committed-instruction count of one hardware thread."""
+        core = self._core_of_thread[thread_id]
+        if hasattr(core, "dispatched_of"):
+            return core.dispatched_of(thread_id)
+        return core.dispatched
+
+    def thread_ipcs(self) -> List[float]:
+        if self.cycle == 0:
+            return [0.0] * self.config.n_threads
+        return [
+            self.thread_dispatched(tid) / self.cycle
+            for tid in range(self.config.n_threads)
+        ]
+
+    def utilizations(self) -> Dict[str, float]:
+        """Whole-run resource utilizations averaged over banks."""
+        if self.cycle == 0:
+            return {"tag": 0.0, "data": 0.0, "bus": 0.0}
+        return self.l2.utilizations(self.cycle)

@@ -1,0 +1,50 @@
+"""Cross-run metrics: targets, normalization, and experiment summaries.
+
+The functions here implement the paper's Section-5.3 methodology:
+target IPCs come from private-machine runs
+(:func:`~repro.common.config.private_equivalent`), shared-run IPCs are
+normalized against them, and workload-level quality is summarized by
+the harmonic mean and minimum of the normalized IPCs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+from repro.common.config import SystemConfig, private_equivalent
+from repro.core.qos import QoSOutcome, summarize
+from repro.cpu.isa import TraceItem
+from repro.system.cmp import CMPSystem
+from repro.system.simulator import SimulationResult, run_simulation
+
+
+def target_ipc(
+    config: SystemConfig,
+    trace: Iterator[TraceItem],
+    phi: float,
+    beta: float,
+    warmup: int = 20_000,
+    measure: int = 60_000,
+) -> float:
+    """A thread's QoS target: its IPC on the equivalent private machine."""
+    private = private_equivalent(config, phi, beta)
+    system = CMPSystem(private, [trace])
+    result = run_simulation(system, warmup=warmup, measure=measure)
+    return result.ipcs[0]
+
+
+def qos_outcomes(
+    result: SimulationResult, targets: Sequence[float]
+) -> List[QoSOutcome]:
+    if len(targets) != len(result.ipcs):
+        raise ValueError("one target per thread required")
+    return [
+        QoSOutcome(thread_id=tid, ipc=ipc, target_ipc=target)
+        for tid, (ipc, target) in enumerate(zip(result.ipcs, targets))
+    ]
+
+
+def workload_summary(outcomes: Sequence[QoSOutcome]) -> Dict[str, float]:
+    """The headline metrics: harmonic-mean and minimum normalized IPC."""
+    hmean, minimum = summarize(outcomes)
+    return {"harmonic_mean": hmean, "min_normalized": minimum}

@@ -1,0 +1,116 @@
+"""Warmup/measure simulation driver and its result record.
+
+Every experiment runs the same protocol the paper's sampled-trace
+methodology implies: warm the caches and buffers for ``warmup`` cycles,
+snapshot all counters, then measure for ``measure`` cycles.  All
+reported IPCs and utilizations cover only the measurement interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.system.cmp import CMPSystem
+
+
+@dataclass
+class SimulationResult:
+    """Measurement-interval statistics for one simulation."""
+
+    cycles: int
+    warmup_cycles: int
+    ipcs: List[float]
+    instructions: List[int]
+    utilizations: Dict[str, float]               # averaged over banks
+    bank_utilizations: List[Dict[str, float]]    # per bank
+    l2_reads: int
+    l2_writes: int
+    stores_received: int
+    stores_gathered: int
+    read_hits: int
+    read_misses: int
+    write_hits: int
+    write_misses: int
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def write_fraction(self) -> float:
+        """Writes as a fraction of L2 requests after gathering (Fig. 7)."""
+        total = self.l2_reads + self.l2_writes
+        return self.l2_writes / total if total else 0.0
+
+    @property
+    def gathering_rate(self) -> float:
+        """Fraction of stores merged in the gathering buffers (Fig. 7)."""
+        if not self.stores_received:
+            return 0.0
+        return self.stores_gathered / self.stores_received
+
+    @property
+    def l2_miss_rate(self) -> float:
+        accesses = self.read_hits + self.read_misses + self.write_hits + self.write_misses
+        if not accesses:
+            return 0.0
+        return (self.read_misses + self.write_misses) / accesses
+
+    def ipc_of(self, thread_id: int) -> float:
+        return self.ipcs[thread_id]
+
+
+def run_simulation(
+    system: CMPSystem, warmup: int = 20_000, measure: int = 60_000
+) -> SimulationResult:
+    """Run ``system`` with a warmup phase, measuring the steady state."""
+    if warmup < 0 or measure <= 0:
+        raise ValueError("warmup must be >= 0 and measure > 0")
+    system.run(warmup)
+
+    n_threads = system.config.n_threads
+    dispatched_before = [
+        system.thread_dispatched(tid) for tid in range(n_threads)
+    ]
+    meter_snaps = [bank.utilization_snapshot() for bank in system.banks]
+    counter_snaps = [bank.counters.snapshot() for bank in system.banks]
+
+    system.run(measure)
+
+    instructions = [
+        system.thread_dispatched(tid) - dispatched_before[tid]
+        for tid in range(n_threads)
+    ]
+    ipcs = [insts / measure for insts in instructions]
+
+    bank_utils = [
+        bank.utilizations(measure, snapshots=snap)
+        for bank, snap in zip(system.banks, meter_snaps)
+    ]
+    avg_utils = {
+        name: sum(b[name] for b in bank_utils) / len(bank_utils)
+        for name in ("tag", "data", "bus")
+    }
+
+    deltas = [
+        bank.counters.since(snap)
+        for bank, snap in zip(system.banks, counter_snaps)
+    ]
+
+    def total(name: str) -> int:
+        return sum(delta.get(name, 0) for delta in deltas)
+
+    return SimulationResult(
+        cycles=measure,
+        warmup_cycles=warmup,
+        ipcs=ipcs,
+        instructions=instructions,
+        utilizations=avg_utils,
+        bank_utilizations=bank_utils,
+        l2_reads=total("read_requests"),
+        l2_writes=total("write_requests"),
+        stores_received=total("stores_received"),
+        stores_gathered=total("stores_gathered"),
+        read_hits=total("read_hits"),
+        read_misses=total("read_misses"),
+        write_hits=total("write_hits"),
+        write_misses=total("write_misses"),
+    )

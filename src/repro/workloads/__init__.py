@@ -1,0 +1,40 @@
+"""Workload generators: Table-2 microbenchmarks and SPEC stand-ins."""
+
+from repro.workloads.microbench import (
+    ARRAY_BYTES,
+    MICROBENCHMARKS,
+    ROW_BYTES,
+    loads_trace,
+    stores_trace,
+    thread_base,
+)
+from repro.workloads.profiles import (
+    HETEROGENEOUS_MIXES,
+    SPEC_ORDER,
+    SPEC_PROFILES,
+    spec_trace,
+)
+from repro.workloads.synthetic import WorkloadProfile, synthetic_trace
+from repro.workloads.tracefile import (
+    read_trace,
+    save_trace,
+    trace_from_file,
+)
+
+__all__ = [
+    "ARRAY_BYTES",
+    "HETEROGENEOUS_MIXES",
+    "MICROBENCHMARKS",
+    "ROW_BYTES",
+    "SPEC_ORDER",
+    "SPEC_PROFILES",
+    "WorkloadProfile",
+    "read_trace",
+    "save_trace",
+    "trace_from_file",
+    "loads_trace",
+    "spec_trace",
+    "stores_trace",
+    "synthetic_trace",
+    "thread_base",
+]

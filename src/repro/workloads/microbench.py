@@ -1,0 +1,70 @@
+"""The paper's two microbenchmarks (Table 2).
+
+Each operates on a two-dimensional array of 32-bit words whose rows are
+64 bytes (one L1 line) and whose total size is 32 KB — twice the L1 data
+cache — so the access stream misses the L1 continuously but fits easily
+in the L2:
+
+* **Loads** — continuously loads the first word of each row (unrolled
+  by 4), producing a constant stream of L2 read hits that stresses L2
+  load bandwidth;
+* **Stores** — identical but with stores; with write-through L1s every
+  store reaches the L2, and since consecutive stores touch different
+  lines nothing gathers, stressing L2 store bandwidth (each write costs
+  two back-to-back data-array accesses).
+
+Threads use disjoint address spaces (per-thread base offset), matching
+the paper's private virtual-to-physical mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cpu.isa import TraceItem, load, nonmem, store
+
+ARRAY_BYTES = 32 * 1024
+ROW_BYTES = 64
+ROWS = ARRAY_BYTES // ROW_BYTES
+UNROLL = 4
+
+# Generous per-thread address-space spacing keeps pools disjoint.
+THREAD_SPACING = 1 << 32
+
+
+def thread_base(thread_id: int) -> int:
+    if thread_id < 0:
+        raise ValueError("negative thread id")
+    return (thread_id + 1) * THREAD_SPACING
+
+
+def loads_trace(thread_id: int = 0) -> Iterator[TraceItem]:
+    """The Loads microbenchmark: infinite stream of row-stride loads.
+
+    Per unrolled iteration: 4 loads + the address increment (1 non-memory
+    instruction); the loop is unrolled so branch resources (the 970's
+    BIQ) are not the bottleneck, which we mirror by keeping the
+    non-memory overhead minimal.
+    """
+    base = thread_base(thread_id)
+    while True:
+        for row in range(0, ROWS, UNROLL):
+            for step in range(UNROLL):
+                yield load(base + (row + step) * ROW_BYTES)
+            yield nonmem(1)
+
+
+def stores_trace(thread_id: int = 0) -> Iterator[TraceItem]:
+    """The Stores microbenchmark: infinite stream of row-stride stores."""
+    base = thread_base(thread_id)
+    while True:
+        for row in range(0, ROWS, UNROLL):
+            for step in range(UNROLL):
+                yield store(base + (row + step) * ROW_BYTES)
+            yield nonmem(1)
+
+
+MICROBENCHMARKS = {
+    "loads": loads_trace,
+    "stores": stores_trace,
+}

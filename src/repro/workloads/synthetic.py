@@ -1,0 +1,150 @@
+"""Statistical address-stream generator (the SPEC-trace substitution).
+
+We do not have the paper's SPEC CPU 2000 sampled traces, so each
+benchmark is replaced by a stochastic generator whose knobs reproduce
+the benchmark's *L2-level signal* — the only property the paper's
+evaluation consumes (see DESIGN.md, Substitutions).
+
+The generator interleaves non-memory runs with *memory runs*.  Each
+memory run picks an address pool:
+
+* **hot** — a small region that fits in the L1, accessed with temporal
+  reuse (L1 hits);
+* **warm** — a medium region streamed with a per-thread pointer; misses
+  the L1 but fits the thread's L2 share (L2 hits);
+* **cold** — a huge region streamed linearly; misses the L2 (DRAM).
+
+Within a run, accesses walk consecutive words, so store runs gather in
+the store gathering buffer (spatial locality -> Figure 7's gathering
+rate) and load runs model line reuse.  ``dependent_prob`` marks loads
+as dependent to throttle memory-level parallelism (mcf-like behaviour).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.cpu.isa import TraceItem, load, nonmem, store
+from repro.workloads.microbench import thread_base
+
+WORD = 4
+LINE = 64
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Knobs describing one synthetic benchmark.
+
+    Probabilities ``p_hot + p_warm + p_cold`` must sum to 1; they select
+    the pool for each memory run.  ``mem_fraction`` is the fraction of
+    instructions that are memory operations, ``store_fraction`` the
+    fraction of memory *runs* that are store runs (the per-operation
+    store fraction is higher when ``store_run_length > run_length``:
+    ``st*srun / (st*srun + (1-st)*run)``).
+    """
+
+    name: str
+    mem_fraction: float = 0.30
+    store_fraction: float = 0.35
+    p_hot: float = 0.90
+    p_warm: float = 0.07
+    p_cold: float = 0.03
+    hot_bytes: int = 8 * 1024
+    warm_bytes: int = 1024 * 1024
+    cold_bytes: int = 256 * 1024 * 1024
+    run_length: int = 4            # mean accesses per memory run
+    store_run_length: int = 8      # mean stores per store run (gathering)
+    dependent_prob: float = 0.0    # fraction of pool-selecting loads that chain
+
+    def validate(self) -> "WorkloadProfile":
+        if not 0 < self.mem_fraction < 1:
+            raise ValueError(f"{self.name}: mem_fraction out of (0,1)")
+        if not 0 <= self.store_fraction <= 1:
+            raise ValueError(f"{self.name}: store_fraction out of [0,1]")
+        total = self.p_hot + self.p_warm + self.p_cold
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"{self.name}: pool probabilities sum to {total}")
+        if min(self.run_length, self.store_run_length) < 1:
+            raise ValueError(f"{self.name}: run lengths must be >= 1")
+        if not 0 <= self.dependent_prob <= 1:
+            raise ValueError(f"{self.name}: dependent_prob out of [0,1]")
+        return self
+
+
+class _Pools:
+    """Per-thread pool addressing: hot reuse, warm/cold streaming."""
+
+    def __init__(self, profile: WorkloadProfile, thread_id: int, rng: random.Random):
+        base = thread_base(thread_id)
+        self.rng = rng
+        self.hot_base = base
+        self.hot_lines = max(1, profile.hot_bytes // LINE)
+        self.warm_base = base + (1 << 28)
+        self.warm_lines = max(1, profile.warm_bytes // LINE)
+        self.cold_base = base + (2 << 28)
+        self.cold_lines = max(1, profile.cold_bytes // LINE)
+        self._warm_ptr = 0
+        self._cold_ptr = 0
+
+    def start_address(self, pool: str) -> int:
+        if pool == "hot":
+            return self.hot_base + self.rng.randrange(self.hot_lines) * LINE
+        if pool == "warm":
+            self._warm_ptr = (self._warm_ptr + 1) % self.warm_lines
+            return self.warm_base + self._warm_ptr * LINE
+        self._cold_ptr = (self._cold_ptr + 1) % self.cold_lines
+        return self.cold_base + self._cold_ptr * LINE
+
+
+def synthetic_trace(
+    profile: WorkloadProfile, thread_id: int = 0, seed: int = 12345
+) -> Iterator[TraceItem]:
+    """Infinite segment trace realizing ``profile`` for one thread."""
+    profile.validate()
+    # zlib.crc32, not hash(): str hashing is randomized per process and
+    # would make runs irreproducible across invocations.
+    name_hash = zlib.crc32(profile.name.encode())
+    rng = random.Random((seed * 1_000_003) ^ (thread_id * 7919) ^ name_hash)
+    pools = _Pools(profile, thread_id, rng)
+
+    # Mean memory ops per run, counting loads and stores by their mix.
+    mean_run = (
+        profile.store_fraction * profile.store_run_length
+        + (1.0 - profile.store_fraction) * profile.run_length
+    )
+    # Non-memory instructions per memory op so that memory ops are
+    # mem_fraction of all instructions.
+    gap_per_op = (1.0 - profile.mem_fraction) / profile.mem_fraction
+    mean_gap = max(1.0, gap_per_op * mean_run)
+
+    while True:
+        gap = max(1, int(rng.expovariate(1.0 / mean_gap)) if mean_gap > 0 else 1)
+        yield nonmem(gap)
+
+        is_store_run = rng.random() < profile.store_fraction
+        length_mean = (
+            profile.store_run_length if is_store_run else profile.run_length
+        )
+        length = max(1, min(32, int(rng.expovariate(1.0 / length_mean)) + 1))
+
+        roll = rng.random()
+        if roll < profile.p_hot:
+            pool = "hot"
+        elif roll < profile.p_hot + profile.p_warm:
+            pool = "warm"
+        else:
+            pool = "cold"
+        addr = pools.start_address(pool)
+
+        dependent_first = (
+            not is_store_run and rng.random() < profile.dependent_prob
+        )
+        for index in range(length):
+            word_addr = addr + index * WORD
+            if is_store_run:
+                yield store(word_addr)
+            else:
+                yield load(word_addr, dependent=(dependent_first and index == 0))

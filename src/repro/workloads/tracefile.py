@@ -1,0 +1,104 @@
+"""Trace-file I/O: persist and replay segment traces.
+
+A downstream user with real program traces (e.g. converted SPEC or
+production traces) can run them through the simulator without touching
+the synthetic generators.  The format is deliberately trivial — one
+record per line, comments with ``#``:
+
+    N <count>          run of non-memory instructions
+    L <addr> [D]       load (hex or decimal address; ``D`` = dependent)
+    S <addr>           store
+
+Files replay either once or in a loop (infinite traces are what the
+steady-state experiments expect).
+"""
+
+from __future__ import annotations
+
+import itertools
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.cpu.isa import LOAD, NONMEM, STORE, TraceItem, load, nonmem, store
+
+
+def _parse_addr(token: str) -> int:
+    return int(token, 16) if token.lower().startswith("0x") else int(token)
+
+
+def parse_line(line: str, lineno: int = 0) -> TraceItem:
+    """Parse one record; raises ValueError with the line number on junk."""
+    fields = line.split()
+    kind = fields[0].upper()
+    try:
+        if kind == "N" and len(fields) == 2:
+            return nonmem(int(fields[1]))
+        if kind == "L" and len(fields) in (2, 3):
+            dependent = len(fields) == 3 and fields[2].upper() == "D"
+            if len(fields) == 3 and not dependent:
+                raise ValueError(f"bad load flag {fields[2]!r}")
+            return load(_parse_addr(fields[1]), dependent)
+        if kind == "S" and len(fields) == 2:
+            return store(_parse_addr(fields[1]))
+    except ValueError as exc:
+        raise ValueError(f"line {lineno}: {exc}") from exc
+    raise ValueError(f"line {lineno}: unrecognized record {line!r}")
+
+
+def format_item(item: TraceItem) -> str:
+    kind = item[0]
+    if kind == NONMEM:
+        return f"N {item[1]}"
+    if kind == LOAD:
+        return f"L {item[1]:#x} D" if item[2] else f"L {item[1]:#x}"
+    if kind == STORE:
+        return f"S {item[1]:#x}"
+    raise ValueError(f"unknown trace item {item}")
+
+
+def save_trace(
+    items: Iterable[TraceItem],
+    path: Union[str, Path],
+    limit: int = 0,
+) -> int:
+    """Write ``items`` (truncated to ``limit`` records when > 0).
+
+    Returns the number of records written.  Safe to call with an
+    infinite generator as long as ``limit`` is positive.
+    """
+    if limit < 0:
+        raise ValueError("limit must be >= 0")
+    source = itertools.islice(items, limit) if limit else items
+    written = 0
+    with open(path, "w") as handle:
+        handle.write("# repro segment trace v1\n")
+        for item in source:
+            handle.write(format_item(item) + "\n")
+            written += 1
+    return written
+
+
+def read_trace(path: Union[str, Path]) -> List[TraceItem]:
+    """Load a whole trace file into memory (validating every record)."""
+    items: List[TraceItem] = []
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            items.append(parse_line(line, lineno))
+    return items
+
+
+def trace_from_file(
+    path: Union[str, Path], loop: bool = True
+) -> Iterator[TraceItem]:
+    """Replay a trace file, by default looping forever (steady state)."""
+    items = read_trace(path)
+    if not items:
+        raise ValueError(f"{path}: empty trace")
+    if not loop:
+        yield from items
+        return
+    while True:
+        yield from items

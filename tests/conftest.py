@@ -1,0 +1,46 @@
+"""Shared fixtures: small, fast system configurations for tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    L2Config,
+    MemoryConfig,
+    SystemConfig,
+    VPCAllocation,
+    baseline_config,
+)
+
+
+@pytest.fixture
+def two_thread_config() -> SystemConfig:
+    """Paper-baseline 2-thread, 2-bank system."""
+    return baseline_config(n_threads=2)
+
+
+@pytest.fixture
+def four_thread_config() -> SystemConfig:
+    return baseline_config(n_threads=4)
+
+
+def tiny_l2(**overrides) -> L2Config:
+    """A small L2 so tests exercise evictions quickly."""
+    params = dict(
+        banks=2,
+        size_bytes=2 * 64 * 1024,  # 2 banks * 8 sets * 8 ways... see below
+        ways=8,
+    )
+    params.update(overrides)
+    return L2Config(**params)
+
+
+def fast_memory() -> MemoryConfig:
+    """Low-latency memory so unit tests converge quickly."""
+    return MemoryConfig(t_rcd=1, t_cl=1, t_wl=1, t_rp=1, burst_cycles=1,
+                        clock_divider=1)
+
+
+@pytest.fixture
+def equal_vpc_two() -> VPCAllocation:
+    return VPCAllocation.equal(2)

@@ -1,0 +1,93 @@
+"""Unit tests for the baseline arbiters (FCFS, RoW-FCFS)."""
+
+import pytest
+
+from repro.core.arbiter import (
+    ArbiterEntry,
+    FCFSArbiter,
+    RoWFCFSArbiter,
+    round_robin_order,
+)
+
+
+def entry(thread_id, name, is_write=False, quanta=1):
+    return ArbiterEntry(
+        thread_id=thread_id, payload=name, is_write=is_write,
+        service_quanta=quanta,
+    )
+
+
+class TestFCFS:
+    def test_serves_in_arrival_order(self):
+        arb = FCFSArbiter(2)
+        arb.enqueue(entry(0, "a"), 0)
+        arb.enqueue(entry(1, "b"), 1)
+        arb.enqueue(entry(0, "c"), 2)
+        assert [arb.select(3).payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ignores_request_type(self):
+        arb = FCFSArbiter(2)
+        arb.enqueue(entry(0, "w", is_write=True), 0)
+        arb.enqueue(entry(1, "r"), 1)
+        assert arb.select(2).payload == "w"
+
+    def test_empty_returns_none(self):
+        assert FCFSArbiter(1).select(0) is None
+
+    def test_len_and_grants(self):
+        arb = FCFSArbiter(1)
+        arb.enqueue(entry(0, "a"), 0)
+        assert len(arb) == 1
+        arb.select(0)
+        assert len(arb) == 0
+        assert arb.grants == 1
+
+    def test_rejects_bad_thread(self):
+        arb = FCFSArbiter(2)
+        with pytest.raises(ValueError):
+            arb.enqueue(entry(2, "x"), 0)
+
+    def test_needs_a_thread(self):
+        with pytest.raises(ValueError):
+            FCFSArbiter(0)
+
+
+class TestRoWFCFS:
+    def test_reads_always_first(self):
+        arb = RoWFCFSArbiter(2)
+        arb.enqueue(entry(0, "w1", is_write=True), 0)
+        arb.enqueue(entry(0, "w2", is_write=True), 1)
+        arb.enqueue(entry(1, "r1"), 2)
+        assert arb.select(3).payload == "r1"
+        assert arb.select(3).payload == "w1"
+        assert arb.select(3).payload == "w2"
+
+    def test_fcfs_within_class(self):
+        arb = RoWFCFSArbiter(2)
+        arb.enqueue(entry(0, "r1"), 0)
+        arb.enqueue(entry(1, "r2"), 1)
+        assert arb.select(2).payload == "r1"
+        assert arb.select(2).payload == "r2"
+
+    def test_starvation_of_writes(self):
+        """The paper's Section-3.1 flaw: a continuous read stream starves
+        every write indefinitely."""
+        arb = RoWFCFSArbiter(2)
+        arb.enqueue(entry(1, "victim-write", is_write=True), 0)
+        for i in range(100):
+            arb.enqueue(entry(0, f"r{i}"), i)
+            granted = arb.select(i)
+            assert granted.payload != "victim-write"
+        assert len(arb) == 1  # the write is still waiting
+
+    def test_len_counts_both_classes(self):
+        arb = RoWFCFSArbiter(1)
+        arb.enqueue(entry(0, "r"), 0)
+        arb.enqueue(entry(0, "w", is_write=True), 0)
+        assert len(arb) == 2
+
+
+class TestRoundRobin:
+    def test_starts_after_pointer(self):
+        assert list(round_robin_order(0, 4)) == [1, 2, 3, 0]
+        assert list(round_robin_order(3, 4)) == [0, 1, 2, 3]

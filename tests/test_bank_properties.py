@@ -1,0 +1,165 @@
+"""Property-based and failure-injection tests for the L2 bank pipeline.
+
+Invariants under arbitrary traffic:
+
+* **conservation** — every accepted load eventually produces exactly one
+  response; every store is eventually acknowledged;
+* **meter sanity** — resource busy-cycles never exceed elapsed cycles;
+* **drain** — with no new input the bank eventually goes quiescent
+  (except stores legitimately parked below the gathering high-water mark);
+* **flaky memory** — a memory controller that refuses admission for long
+  stretches delays but never loses requests.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.bank import CacheBank
+from repro.cache.cache_array import CacheArray
+from repro.cache.replacement import LRUPolicy
+from repro.common.config import L2Config
+from repro.common.records import AccessType, make_request
+from repro.core.arbiter import FCFSArbiter
+from repro.core.vpc_arbiter import VPCArbiter
+
+
+class FlakyMemory:
+    """Memory that only accepts requests when `now % period < duty`."""
+
+    def __init__(self, latency=40, period=1, duty=1):
+        self.latency = latency
+        self.period = period
+        self.duty = duty
+        self._now = 0
+
+    def observe(self, now):
+        self._now = now
+
+    def _open(self):
+        return (self._now % self.period) < self.duty
+
+    def can_accept_read(self, thread_id):
+        return self._open()
+
+    def can_accept_write(self, thread_id):
+        return self._open()
+
+    def enqueue_read(self, thread_id, line, notify, now):
+        notify(now + self.latency)
+
+    def enqueue_write(self, thread_id, line, now):
+        pass
+
+
+def build_bank(n_threads, arbiter_kind, memory):
+    config = L2Config(banks=1)
+    responses = []
+
+    def factory(name, latency):
+        if arbiter_kind == "vpc":
+            return VPCArbiter(n_threads, [1.0 / n_threads] * n_threads, latency)
+        return FCFSArbiter(n_threads)
+
+    array = CacheArray(config.sets, config.ways, LRUPolicy(), index_stride=1)
+    bank = CacheBank(
+        bank_id=0, n_threads=n_threads, config=config, array=array,
+        arbiter_factory=factory,
+        respond=lambda request, now: responses.append(request),
+        memory=memory,
+    )
+    return bank, responses
+
+
+@st.composite
+def traffic(draw):
+    n_threads = draw(st.integers(min_value=1, max_value=4))
+    arbiter = draw(st.sampled_from(["fcfs", "vpc"]))
+    n_requests = draw(st.integers(min_value=1, max_value=60))
+    events = []
+    cycle = 0
+    for _ in range(n_requests):
+        cycle += draw(st.integers(min_value=0, max_value=12))
+        events.append((
+            cycle,
+            draw(st.integers(min_value=0, max_value=n_threads - 1)),
+            draw(st.integers(min_value=0, max_value=40)),   # line
+            draw(st.booleans()),                            # is_store
+        ))
+    return n_threads, arbiter, events
+
+
+def drive(bank, memory, events, horizon):
+    loads_sent = stores_sent = 0
+    index = 0
+    for now in range(horizon):
+        if hasattr(memory, "observe"):
+            memory.observe(now)
+        while index < len(events) and events[index][0] <= now:
+            _, tid, line, is_store = events[index]
+            access = AccessType.WRITE if is_store else AccessType.READ
+            bank.accept(make_request(tid, line * 64, access, 64), now)
+            if is_store:
+                stores_sent += 1
+            else:
+                loads_sent += 1
+            index += 1
+        bank.tick(now)
+    return loads_sent, stores_sent
+
+
+@settings(max_examples=40, deadline=None)
+@given(traffic())
+def test_every_load_answered_exactly_once(case):
+    n_threads, arbiter, events = case
+    memory = FlakyMemory()
+    bank, responses = build_bank(n_threads, arbiter, memory)
+    horizon = events[-1][0] + 6_000
+    loads_sent, stores_sent = drive(bank, memory, events, horizon)
+    load_responses = [r for r in responses if r.access is AccessType.READ]
+    store_acks = [r for r in responses if r.access is AccessType.WRITE]
+    assert len(load_responses) == loads_sent
+    assert len(store_acks) == stores_sent
+    assert len({r.req_id for r in load_responses}) == loads_sent
+
+
+@settings(max_examples=40, deadline=None)
+@given(traffic())
+def test_meters_within_elapsed_time(case):
+    n_threads, arbiter, events = case
+    memory = FlakyMemory()
+    bank, _ = build_bank(n_threads, arbiter, memory)
+    horizon = events[-1][0] + 6_000
+    drive(bank, memory, events, horizon)
+    for resource in bank.resources:
+        assert 0 <= resource.meter.busy_cycles <= horizon + 2 * resource.base_latency
+
+
+@settings(max_examples=30, deadline=None)
+@given(traffic())
+def test_bank_drains_after_input_stops(case):
+    """Only sub-high-water gathered stores may remain parked."""
+    n_threads, arbiter, events = case
+    memory = FlakyMemory()
+    bank, _ = build_bank(n_threads, arbiter, memory)
+    horizon = events[-1][0] + 6_000
+    drive(bank, memory, events, horizon)
+    assert not bank._sms, "state machines leaked"
+    assert not bank._mem_wait and not bank._wbmem_wait
+    for sgb in bank.sgbs:
+        assert sgb.occupancy < sgb.high_water
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=40),   # closed period
+    st.integers(min_value=1, max_value=10),   # open duty
+    st.integers(min_value=1, max_value=30),   # request count
+)
+def test_flaky_memory_delays_but_never_loses(period, duty, n_requests):
+    duty = min(duty, period)
+    memory = FlakyMemory(latency=30, period=period, duty=duty)
+    bank, responses = build_bank(1, "fcfs", memory)
+    events = [(i * 3, 0, i, False) for i in range(n_requests)]  # all misses
+    drive(bank, memory, events, events[-1][0] + 8_000)
+    load_responses = [r for r in responses if r.access is AccessType.READ]
+    assert len(load_responses) == n_requests

@@ -1,0 +1,117 @@
+"""Unit tests for the set-associative cache array."""
+
+import pytest
+
+from repro.cache.cache_array import CacheArray
+from repro.cache.replacement import LRUPolicy
+
+
+def make_array(sets=4, ways=2, stride=1):
+    return CacheArray(sets=sets, ways=ways, policy=LRUPolicy(), index_stride=stride)
+
+
+class TestGeometry:
+    def test_set_count_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            make_array(sets=3)
+
+    def test_way_count_positive(self):
+        with pytest.raises(ValueError):
+            make_array(ways=0)
+
+    def test_set_index_with_stride(self):
+        """Bank b of N sees lines line % N == b; index uses line // N."""
+        array = make_array(sets=4, stride=2)
+        assert array.set_index(0) == 0
+        assert array.set_index(2) == 1
+        assert array.set_index(8) == 0
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        array = make_array()
+        assert not array.lookup(5)
+        array.insert(5, thread_id=0)
+        assert array.lookup(5)
+        assert array.hits == 1 and array.misses == 1
+
+    def test_contains_has_no_side_effects(self):
+        array = make_array()
+        assert not array.contains(5)
+        assert array.misses == 0
+
+    def test_lru_eviction_order(self):
+        array = make_array(sets=1, ways=2)
+        array.insert(1, 0)
+        array.insert(2, 0)
+        array.lookup(1)              # 2 becomes LRU
+        eviction = array.insert(3, 0)
+        assert eviction.victim_line == 2
+
+    def test_insert_existing_line_is_refresh(self):
+        array = make_array(sets=1, ways=2)
+        array.insert(1, 0)
+        eviction = array.insert(1, 1)
+        assert eviction.victim_line is None
+        assert array.occupancy_by_thread(2) == [0, 1]  # ownership moved
+
+    def test_free_ways_used_before_eviction(self):
+        array = make_array(sets=1, ways=4)
+        for line in range(4):
+            assert array.insert(line, 0).victim_line is None
+        assert array.insert(4, 0).victim_line is not None
+
+
+class TestDirtyState:
+    def test_dirty_roundtrip(self):
+        array = make_array()
+        array.insert(7, 0)
+        assert not array.is_dirty(7)
+        array.set_dirty(7)
+        assert array.is_dirty(7)
+
+    def test_eviction_reports_dirty(self):
+        array = make_array(sets=1, ways=1)
+        array.insert(1, 0)
+        array.set_dirty(1)
+        eviction = array.insert(2, 0)
+        assert eviction.victim_dirty
+        assert eviction.victim_line == 1
+
+    def test_fill_clears_dirty(self):
+        array = make_array(sets=1, ways=1)
+        array.insert(1, 0)
+        array.set_dirty(1)
+        array.insert(2, 0)
+        assert not array.is_dirty(2)
+
+    def test_set_dirty_missing_line(self):
+        with pytest.raises(KeyError):
+            make_array().set_dirty(99)
+
+
+class TestInvalidate:
+    def test_invalidate_then_miss(self):
+        array = make_array()
+        array.insert(3, 0)
+        array.invalidate(3)
+        assert not array.contains(3)
+
+    def test_invalidate_absent_is_noop(self):
+        make_array().invalidate(42)
+
+
+class TestOccupancy:
+    def test_per_thread_counts(self):
+        array = make_array(sets=1, ways=4)
+        array.insert(0, 0)
+        array.insert(1, 0)
+        array.insert(2, 1)
+        assert array.occupancy_by_thread(2) == [2, 1]
+
+    def test_miss_rate(self):
+        array = make_array()
+        array.lookup(1)
+        array.insert(1, 0)
+        array.lookup(1)
+        assert array.miss_rate() == pytest.approx(0.5)

@@ -1,0 +1,137 @@
+"""Unit tests for the VPC Capacity Manager (paper Section 4.2)."""
+
+import pytest
+
+from repro.cache.cache_array import CacheArray
+from repro.cache.replacement import SetView
+from repro.core.capacity import VPCCapacityManager, ways_quota
+
+
+class TestWaysQuota:
+    def test_equal_quarter_shares(self):
+        assert ways_quota([0.25] * 4, 32) == [8, 8, 8, 8]
+
+    def test_floor_leaves_excess_unallocated(self):
+        assert ways_quota([0.3, 0.3], 8) == [2, 2]
+
+    def test_paper_figure1_allocation(self):
+        """VPM example: 50% + 3x10% leaves 20% unallocated."""
+        assert ways_quota([0.5, 0.1, 0.1, 0.1], 32) == [16, 3, 3, 3]
+
+    def test_overallocation_rejected(self):
+        with pytest.raises(ValueError):
+            ways_quota([0.6, 0.6], 32)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ways_quota([-0.25, 0.5], 32)
+
+
+def view(owners, lru_order=None):
+    ways = len(owners)
+    valid = [o >= 0 for o in owners]
+    if lru_order is None:
+        lru_order = list(range(ways))  # way 0 is LRU
+    return SetView(ways=ways, owners=owners, valid=valid, lru_order=lru_order)
+
+
+class TestCondition1:
+    """Victimize the LRU line of an over-quota *other* thread."""
+
+    def test_over_quota_other_thread_victimized(self):
+        policy = VPCCapacityManager([0.5, 0.5], 4)  # quota 2 each
+        # Thread 1 holds 3 ways (over), thread 0 holds 1.
+        victim = policy.choose_victim(view([1, 1, 1, 0]), requester=0)
+        assert victim == 0  # thread 1's LRU line
+        assert policy.condition1_evictions == 1
+
+    def test_requesters_own_excess_not_condition1(self):
+        """Condition 1 applies to *another* thread only."""
+        policy = VPCCapacityManager([0.5, 0.5], 4)
+        # Requester 0 is over quota itself; thread 1 at quota.
+        victim = policy.choose_victim(view([0, 0, 0, 1]), requester=0)
+        assert victim == 0       # falls to Condition 2: own LRU line
+        assert policy.condition2_evictions == 1
+
+    def test_most_over_quota_thread_preferred(self):
+        """Fairness refinement: drain the largest excess first."""
+        policy = VPCCapacityManager([0.25, 0.25, 0.25, 0.25], 8)  # quota 2
+        owners = [1, 1, 1, 1, 2, 2, 2, 0]   # thread1 excess 2, thread2 excess 1
+        victim = policy.choose_victim(view(owners), requester=0)
+        assert owners[victim] == 1
+        assert victim == 0  # thread 1's LRU
+
+    def test_at_quota_thread_protected(self):
+        """A thread exactly at quota never loses a line to others."""
+        policy = VPCCapacityManager([0.5, 0.5], 4)
+        owners = [1, 1, 0, 0]   # both exactly at quota 2
+        victim = policy.choose_victim(view(owners), requester=0)
+        assert owners[victim] == 0  # Condition 2: requester's own line
+
+
+class TestCondition2:
+    def test_own_lru_line_when_all_at_quota(self):
+        policy = VPCCapacityManager([0.5, 0.5], 4)
+        owners = [0, 1, 0, 1]
+        # LRU order: way1 (thread1), way0 (thread0), ...
+        victim = policy.choose_victim(
+            view(owners, lru_order=[1, 0, 3, 2]), requester=0
+        )
+        assert victim == 0  # thread 0's least-recent line, not thread 1's
+
+    def test_fallback_global_lru_when_requester_owns_nothing(self):
+        """Unallocated capacity scenario: requester has no lines and no
+        thread exceeds its quota -> global LRU fallback."""
+        policy = VPCCapacityManager([0.5, 0.5], 4)  # quotas 2+2
+        owners = [1, 1, -1, -1]  # thread 1 exactly at quota, ways 2-3 invalid
+        victim = policy.choose_victim(view(owners), requester=0)
+        assert victim == 0  # global LRU among valid lines
+
+
+class TestErrors:
+    def test_unknown_requester(self):
+        policy = VPCCapacityManager([1.0], 4)
+        with pytest.raises(ValueError):
+            policy.choose_victim(view([0, 0, 0, 0]), requester=3)
+
+    def test_empty_set_rejected(self):
+        policy = VPCCapacityManager([1.0], 2)
+        with pytest.raises(RuntimeError):
+            policy.choose_victim(view([-1, -1]), requester=0)
+
+
+class TestIntegrationWithCacheArray:
+    def test_quota_floor_maintained_under_pressure(self):
+        """An aggressive thread can never push a quota-holding thread
+        below its guaranteed ways in any set."""
+        policy = VPCCapacityManager([0.5, 0.5], 8)
+        array = CacheArray(sets=4, ways=8, policy=policy)
+        # Thread 0 fills its half of set 0 (lines map to set = line % 4).
+        for i in range(4):
+            array.insert(0 + 4 * i, thread_id=0)
+        # Thread 1 floods the same set far beyond capacity.
+        for i in range(100):
+            array.insert(4 * (10 + i), thread_id=1)
+        occupancy = array.occupancy_by_thread(2)
+        assert occupancy[0] == 4  # untouched: thread 1 only ate its own lines
+
+    def test_thread_can_use_excess_when_available(self):
+        """Work conservation for capacity: a lone thread may exceed its
+        quota when other ways are free."""
+        policy = VPCCapacityManager([0.5, 0.5], 8)
+        array = CacheArray(sets=1, ways=8, policy=policy)
+        for i in range(8):
+            array.insert(i, thread_id=0)
+        assert array.occupancy_by_thread(2)[0] == 8
+
+    def test_excess_reclaimed_by_owner(self):
+        """When the second thread arrives, it reclaims ways from the
+        over-quota squatter, one eviction per insert."""
+        policy = VPCCapacityManager([0.5, 0.5], 8)
+        array = CacheArray(sets=1, ways=8, policy=policy)
+        for i in range(8):
+            array.insert(i, thread_id=0)       # thread 0 holds all 8
+        for i in range(4):
+            array.insert(100 + i, thread_id=1)
+        occupancy = array.occupancy_by_thread(2)
+        assert occupancy == [4, 4]

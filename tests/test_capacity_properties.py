@@ -1,0 +1,100 @@
+"""Property-based tests for the VPC Capacity Manager.
+
+Core invariant (the capacity QoS guarantee): under ANY interleaving of
+inserts from competing threads, a thread that has inserted at least
+``quota_i`` distinct lines into a set retains at least ``quota_i`` ways
+of it — its private-cache-equivalent capacity can never be stolen.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache_array import CacheArray
+from repro.core.capacity import VPCCapacityManager, ways_quota
+
+
+@st.composite
+def insert_sequences(draw):
+    n_threads = draw(st.integers(min_value=2, max_value=4))
+    ways = draw(st.sampled_from([4, 8, 16]))
+    shares = [1.0 / n_threads] * n_threads
+    n_inserts = draw(st.integers(min_value=ways, max_value=6 * ways))
+    inserts = [
+        (
+            draw(st.integers(min_value=0, max_value=n_threads - 1)),
+            draw(st.integers(min_value=0, max_value=8 * ways)),
+        )
+        for _ in range(n_inserts)
+    ]
+    return n_threads, ways, shares, inserts
+
+
+def run_inserts(n_threads, ways, shares, inserts):
+    policy = VPCCapacityManager(shares, ways)
+    array = CacheArray(sets=1, ways=ways, policy=policy)
+    distinct = [set() for _ in range(n_threads)]
+    for thread_id, line in inserts:
+        # Namespace lines per thread (threads never share lines, as in
+        # the paper's private address spaces).
+        namespaced = line * n_threads + thread_id
+        array.insert(namespaced, thread_id)
+        distinct[thread_id].add(namespaced)
+    return policy, array, distinct
+
+
+@settings(max_examples=80, deadline=None)
+@given(insert_sequences())
+def test_quota_floor_invariant(sequence):
+    """A thread with >= quota distinct lines inserted keeps >= quota ways.
+
+    (If it inserted fewer, it keeps min(inserted, quota) — you cannot hold
+    ways you never filled.)
+    """
+    n_threads, ways, shares, inserts = sequence
+    policy, array, distinct = run_inserts(n_threads, ways, shares, inserts)
+    quotas = ways_quota(shares, ways)
+    occupancy = array.occupancy_by_thread(n_threads)
+    for tid in range(n_threads):
+        lines_present_floor = min(len(distinct[tid]), quotas[tid])
+        assert occupancy[tid] >= lines_present_floor, (
+            occupancy, quotas, [len(d) for d in distinct]
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(insert_sequences())
+def test_total_occupancy_never_exceeds_ways(sequence):
+    n_threads, ways, shares, inserts = sequence
+    _, array, _ = run_inserts(n_threads, ways, shares, inserts)
+    assert sum(array.occupancy_by_thread(n_threads)) <= ways
+
+
+@settings(max_examples=60, deadline=None)
+@given(insert_sequences())
+def test_most_recent_insert_always_present(sequence):
+    """The line just inserted is resident (the policy never evicts the
+    incoming line)."""
+    n_threads, ways, shares, inserts = sequence
+    policy = VPCCapacityManager(shares, ways)
+    array = CacheArray(sets=1, ways=ways, policy=policy)
+    for thread_id, line in inserts:
+        namespaced = line * n_threads + thread_id
+        array.insert(namespaced, thread_id)
+        assert array.contains(namespaced)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.sampled_from([8, 16]),
+    st.integers(min_value=1, max_value=200),
+)
+def test_lone_thread_gets_whole_set(n_threads, ways, n_lines):
+    """Work conservation: with no competitors, a thread may fill every way."""
+    shares = [1.0 / n_threads] * n_threads
+    policy = VPCCapacityManager(shares, ways)
+    array = CacheArray(sets=1, ways=ways, policy=policy)
+    for line in range(n_lines):
+        array.insert(line, 0)
+    expected = min(n_lines, ways)
+    assert array.occupancy_by_thread(n_threads)[0] == expected

@@ -1,0 +1,132 @@
+"""Unit tests for repro.common.config (Table 1 + private-machine transform)."""
+
+import pytest
+
+from repro.common.config import (
+    KIB,
+    MIB,
+    L1Config,
+    L2Config,
+    SystemConfig,
+    VPCAllocation,
+    baseline_config,
+    private_equivalent,
+)
+
+
+class TestTable1Defaults:
+    """The defaults must match the paper's Table 1."""
+
+    def test_l1_geometry(self):
+        l1 = L1Config()
+        assert l1.size_bytes == 16 * KIB
+        assert l1.ways == 4
+        assert l1.line_size == 64
+        assert l1.latency == 2
+        assert l1.sets == 64
+
+    def test_l2_geometry(self):
+        l2 = L2Config()
+        assert l2.size_bytes == 16 * MIB
+        assert l2.ways == 32
+        assert l2.banks == 2
+        assert l2.tag_latency == 4
+        assert l2.data_read_latency == 8
+        assert l2.data_write_latency == 16
+
+    def test_l2_sets_per_bank(self):
+        l2 = L2Config()
+        assert l2.sets * l2.banks * l2.ways * l2.line_size == l2.size_bytes
+
+    def test_bus_line_cycles(self):
+        # 64B line / 16B beats at one beat per 2 processor cycles = 8.
+        assert L2Config().bus_line_cycles == 8
+
+    def test_state_machines_and_sgb(self):
+        l2 = L2Config()
+        assert l2.state_machines_per_thread == 8
+        assert l2.sgb_entries == 8
+        assert l2.sgb_high_water == 6
+
+
+class TestValidation:
+    def test_unknown_arbiter_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(arbiter="lottery").validate()
+
+    def test_mismatched_line_sizes_rejected(self):
+        cfg = SystemConfig(l1=L1Config(line_size=32))
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_vpc_share_count_must_match_threads(self):
+        cfg = SystemConfig(n_threads=2)  # default allocation is 4-way
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_overallocation_rejected(self):
+        with pytest.raises(ValueError):
+            VPCAllocation([0.6, 0.6], [0.5, 0.5]).validate(2)
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ValueError):
+            VPCAllocation([-0.1, 0.5], [0.5, 0.5]).validate(2)
+
+    def test_equal_allocation_helper(self):
+        alloc = VPCAllocation.equal(4)
+        assert alloc.bandwidth_shares == [0.25] * 4
+        alloc.validate(4)
+
+
+class TestBaselineConfig:
+    def test_defaults_are_paper_baseline(self):
+        cfg = baseline_config()
+        assert cfg.n_threads == 4
+        assert cfg.l2.banks == 2
+        assert cfg.arbiter == "fcfs"
+
+    def test_bank_count_override(self):
+        assert baseline_config(banks=8).l2.banks == 8
+
+
+class TestPrivateEquivalent:
+    """Section 5.3: same sets, beta*ways ways, latencies scaled 1/phi."""
+
+    def test_full_allocation_is_identity_on_latencies(self):
+        cfg = baseline_config()
+        private = private_equivalent(cfg, phi=1.0, beta=1.0)
+        assert private.l2.tag_latency == cfg.l2.tag_latency
+        assert private.l2.data_read_latency == cfg.l2.data_read_latency
+        assert private.l2.ways == cfg.l2.ways
+        assert private.n_threads == 1
+
+    def test_half_bandwidth_doubles_latencies(self):
+        cfg = baseline_config()
+        private = private_equivalent(cfg, phi=0.5, beta=0.25)
+        assert private.l2.tag_latency == 8
+        assert private.l2.data_read_latency == 16
+        assert private.l2.data_write_latency == 32
+        assert private.l2.ways == 8
+
+    def test_paper_example(self):
+        """phi=.5, beta=.25 -> 8 ways, 8-cycle tag, 16-cycle data array."""
+        private = private_equivalent(baseline_config(), 0.5, 0.25)
+        assert (private.l2.ways, private.l2.tag_latency,
+                private.l2.data_read_latency) == (8, 8, 16)
+
+    def test_sets_preserved(self):
+        cfg = baseline_config()
+        private = private_equivalent(cfg, 0.5, 0.25)
+        assert private.l2.sets == cfg.l2.sets
+
+    def test_zero_phi_rejected(self):
+        with pytest.raises(ValueError):
+            private_equivalent(baseline_config(), 0.0, 0.25)
+
+    def test_bad_beta_rejected(self):
+        with pytest.raises(ValueError):
+            private_equivalent(baseline_config(), 0.5, 1.5)
+
+    def test_result_validates(self):
+        private = private_equivalent(baseline_config(), 0.25, 0.25)
+        private.validate()

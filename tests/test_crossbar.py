@@ -1,0 +1,51 @@
+"""Unit tests for the crossbar interconnect."""
+
+import pytest
+
+from repro.common.config import CrossbarConfig
+from repro.common.records import AccessType, make_request
+from repro.interconnect.crossbar import Crossbar
+
+
+def request(thread=0):
+    return make_request(thread, 0, AccessType.READ, 64)
+
+
+class TestCrossbar:
+    def test_request_latency(self):
+        xbar = Crossbar(2, CrossbarConfig(latency=2))
+        req = request()
+        xbar.send_request(0, req, now=10)
+        assert list(xbar.deliver_requests(0, 11)) == []
+        assert list(xbar.deliver_requests(0, 12)) == [req]
+
+    def test_response_is_immediate_by_default(self):
+        """The bank data bus reaches the cores directly (Figure 2a)."""
+        xbar = Crossbar(1, CrossbarConfig())
+        req = request()
+        xbar.send_response(0, req, now=5)
+        assert list(xbar.deliver_responses(0, 5)) == [req]
+
+    def test_lanes_are_private_per_core(self):
+        xbar = Crossbar(2, CrossbarConfig())
+        req = request()
+        xbar.send_request(1, req, now=0)
+        assert list(xbar.deliver_requests(0, 10)) == []
+        assert list(xbar.deliver_requests(1, 10)) == [req]
+
+    def test_order_preserved(self):
+        xbar = Crossbar(1, CrossbarConfig(latency=3))
+        a, b = request(), request()
+        xbar.send_request(0, a, now=0)
+        xbar.send_request(0, b, now=1)
+        assert list(xbar.deliver_requests(0, 10)) == [a, b]
+
+    def test_busy(self):
+        xbar = Crossbar(1, CrossbarConfig())
+        assert not xbar.busy()
+        xbar.send_request(0, request(), now=0)
+        assert xbar.busy()
+
+    def test_needs_a_core(self):
+        with pytest.raises(ValueError):
+            Crossbar(0, CrossbarConfig())

@@ -1,0 +1,129 @@
+"""Edge-configuration tests: unusual but legal system shapes must work.
+
+Single-bank caches, one-thread systems, eight threads, zero warmup,
+single-entry structures — shapes no experiment uses but a library user
+will eventually construct.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+import repro
+from repro.common.config import (
+    CoreConfig,
+    L1Config,
+    L2Config,
+    VPCAllocation,
+    baseline_config,
+)
+from repro.system.cmp import CMPSystem
+from repro.system.simulator import run_simulation
+from repro.workloads import loads_trace, spec_trace, stores_trace
+
+
+class TestSingleBank:
+    def test_one_bank_system_runs(self):
+        config = baseline_config(n_threads=2, banks=1, arbiter="vpc",
+                                 vpc=VPCAllocation.equal(2))
+        system = CMPSystem(config, [loads_trace(0), stores_trace(1)])
+        result = run_simulation(system, warmup=20_000, measure=8_000)
+        assert len(system.banks) == 1
+        assert all(ipc >= 0 for ipc in result.ipcs)
+
+    def test_one_bank_loads_rate_halves(self):
+        """One bank = half the data-array bandwidth of the baseline."""
+        def solo(banks):
+            config = baseline_config(n_threads=1, banks=banks,
+                                     arbiter="row-fcfs",
+                                     vpc=VPCAllocation([1.0], [1.0]))
+            system = CMPSystem(config, [loads_trace(0)])
+            return run_simulation(system, warmup=30_000, measure=10_000).ipcs[0]
+
+        assert solo(1) == pytest.approx(solo(2) / 2, rel=0.05)
+
+
+class TestManyThreads:
+    def test_eight_threads_on_two_banks(self):
+        config = baseline_config(n_threads=8, arbiter="vpc",
+                                 vpc=VPCAllocation.equal(8))
+        names = ["art", "mcf", "gzip", "gcc", "swim", "mesa", "vpr", "ammp"]
+        traces = [spec_trace(name, tid) for tid, name in enumerate(names)]
+        system = CMPSystem(config, traces)
+        result = run_simulation(system, warmup=15_000, measure=8_000)
+        assert len(result.ipcs) == 8
+        assert all(ipc > 0 for ipc in result.ipcs)   # nobody starves
+
+    def test_eight_way_quota_is_four_ways(self):
+        from repro.core.capacity import ways_quota
+        assert ways_quota([1 / 8] * 8, 32) == [4] * 8
+
+
+class TestOneThread:
+    def test_vpc_with_single_thread(self):
+        """A lone thread with share 1.0 behaves like a private machine."""
+        config = baseline_config(n_threads=1, arbiter="vpc",
+                                 vpc=VPCAllocation([1.0], [1.0]))
+        system = CMPSystem(config, [loads_trace(0)])
+        result = run_simulation(system, warmup=30_000, measure=10_000)
+        assert result.ipcs[0] == pytest.approx(0.3125, abs=0.003)
+
+
+class TestUnusualIntervals:
+    def test_zero_warmup(self):
+        config = baseline_config(n_threads=2)
+        system = CMPSystem(config, [loads_trace(0), stores_trace(1)])
+        result = run_simulation(system, warmup=0, measure=5_000)
+        assert result.warmup_cycles == 0
+
+    def test_tiny_measure_interval(self):
+        config = baseline_config(n_threads=2)
+        system = CMPSystem(config, [loads_trace(0), stores_trace(1)])
+        result = run_simulation(system, warmup=100, measure=1)
+        assert result.cycles == 1
+
+
+class TestTinyStructures:
+    def test_single_entry_sgb(self):
+        l2 = L2Config(sgb_entries=1, sgb_high_water=1)
+        config = replace(baseline_config(n_threads=2), l2=l2).validate()
+        system = CMPSystem(config, [loads_trace(0), stores_trace(1)])
+        result = run_simulation(system, warmup=20_000, measure=5_000)
+        assert result.ipcs[1] > 0           # stores still flow
+        assert result.gathering_rate == 0.0  # nothing can merge
+
+    def test_single_state_machine_per_thread(self):
+        l2 = L2Config(state_machines_per_thread=1)
+        config = replace(baseline_config(n_threads=2), l2=l2).validate()
+        system = CMPSystem(config, [loads_trace(0), stores_trace(1)])
+        result = run_simulation(system, warmup=20_000, measure=5_000)
+        assert all(ipc > 0 for ipc in result.ipcs)
+
+    def test_tiny_window_core(self):
+        core = CoreConfig(window_size=2, issue_width=1)
+        config = replace(baseline_config(n_threads=1,
+                                         vpc=VPCAllocation([1.0], [1.0]),
+                                         arbiter="row-fcfs"),
+                         core=core).validate()
+        system = CMPSystem(config, [loads_trace(0)])
+        result = run_simulation(system, warmup=10_000, measure=5_000)
+        assert 0 < result.ipcs[0] < 0.3125   # window-bound, but alive
+
+    def test_single_mshr(self):
+        l1 = L1Config(mshrs=1)
+        config = replace(baseline_config(n_threads=1,
+                                         vpc=VPCAllocation([1.0], [1.0]),
+                                         arbiter="row-fcfs"),
+                         l1=l1).validate()
+        system = CMPSystem(config, [loads_trace(0)])
+        result = run_simulation(system, warmup=10_000, measure=5_000)
+        assert 0 < result.ipcs[0] < 0.3125   # MLP = 1
+
+
+class TestPublicAPI:
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__

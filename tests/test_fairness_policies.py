@@ -1,0 +1,109 @@
+"""Tests for the alternative fairness policy (SFQ selection).
+
+The paper defers "a detailed comparison of fairness policies" to future
+work (Section 4.1.3); the arbiter supports earliest-virtual-FINISH
+(WFQ/EDF, the paper's policy) and earliest-virtual-START (SFQ).  Both
+must uphold the bandwidth guarantee; they differ in how excess
+bandwidth and preemption latency are distributed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arbiter import ArbiterEntry
+from repro.core.vpc_arbiter import VPCArbiter
+
+LATENCY = 8
+
+
+def entry(tid, name="x", is_write=False, quanta=1):
+    return ArbiterEntry(thread_id=tid, payload=name, is_write=is_write,
+                        service_quanta=quanta)
+
+
+def simulate(arbiter, traffic, horizon):
+    busy_until = 0
+    for now in range(horizon):
+        for tid, is_write in traffic.get(now, ()):
+            arbiter.enqueue(entry(tid, is_write=is_write,
+                                  quanta=2 if is_write else 1), now)
+        if now >= busy_until and len(arbiter):
+            granted = arbiter.select(now)
+            busy_until = now + LATENCY * granted.service_quanta
+    return arbiter.service_granted
+
+
+class TestConstruction:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            VPCArbiter(2, [0.5, 0.5], 8, selection="lottery")
+
+    def test_default_is_finish(self):
+        assert VPCArbiter(1, [1.0], 8).selection == "finish"
+
+
+class TestSFQBasics:
+    def test_sfq_orders_by_start_time(self):
+        """After thread 0 consumes a burst, its R.S runs ahead; SFQ (like
+        WFQ) then prefers the thread with the smaller virtual start."""
+        arbiter = VPCArbiter(2, [0.5, 0.5], 8, selection="start")
+        arbiter.enqueue(entry(0, "a1"), 0)
+        arbiter.enqueue(entry(0, "a2"), 0)
+        assert arbiter.select(0).payload == "a1"   # R.S[0] -> 16
+        arbiter.enqueue(entry(1, "b1"), 0)
+        assert arbiter.select(0).payload == "b1"   # R.S[1]=0 < R.S[0]=16
+
+    def test_sfq_quanta_insensitive_selection(self):
+        """The policy difference: with equal R.S, WFQ penalizes the
+        thread whose *next* access is a (double-quantum) write; SFQ does
+        not look at the pending access's size."""
+        wfq = VPCArbiter(2, [0.5, 0.5], 8, selection="finish")
+        sfq = VPCArbiter(2, [0.5, 0.5], 8, selection="start")
+        for arbiter in (wfq, sfq):
+            arbiter.enqueue(entry(0, "write", is_write=True, quanta=2), 0)
+            arbiter.enqueue(entry(1, "read"), 1)
+        # WFQ: F0 = 32 > F1 = 16 -> read first.
+        assert wfq.select(2).payload == "read"
+        # SFQ: S0 = 0 < S1 = 1 -> the write goes first.
+        assert sfq.select(2).payload == "write"
+
+    def test_zero_share_still_last(self):
+        arbiter = VPCArbiter(2, [1.0, 0.0], 8, selection="start")
+        arbiter.enqueue(entry(1, "excess"), 0)
+        arbiter.enqueue(entry(0, "paid"), 5)
+        assert arbiter.select(5).payload == "paid"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sampled_from(["finish", "start"]),
+    st.sampled_from([[0.5, 0.5], [0.75, 0.25], [0.25, 0.25, 0.5]]),
+    st.integers(min_value=400, max_value=1000),
+)
+def test_both_policies_guarantee_bandwidth(selection, shares, horizon):
+    """A continuously backlogged thread receives >= its share under
+    either policy (the guarantee is policy-independent)."""
+    traffic = {}
+    for cycle in range(0, horizon, LATENCY):
+        traffic[cycle] = [(tid, False) for tid in range(len(shares))]
+    arbiter = VPCArbiter(len(shares), shares, LATENCY, selection=selection)
+    service = simulate(arbiter, traffic, horizon)
+    for tid, share in enumerate(shares):
+        assert service[tid] >= share * horizon - 3 * LATENCY
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=500, max_value=1200))
+def test_policies_agree_on_saturated_totals(horizon):
+    """Saturated equal-share traffic: both policies converge to the same
+    per-thread service (they only differ transiently)."""
+    traffic = {}
+    for cycle in range(0, horizon, LATENCY):
+        traffic[cycle] = [(0, False), (1, True)]
+    wfq = simulate(VPCArbiter(2, [0.5, 0.5], LATENCY, selection="finish"),
+                   traffic, horizon)
+    sfq = simulate(VPCArbiter(2, [0.5, 0.5], LATENCY, selection="start"),
+                   traffic, horizon)
+    for a, b in zip(wfq, sfq):
+        assert abs(a - b) <= 4 * LATENCY

@@ -1,0 +1,85 @@
+"""Unit tests for the fair-queuing QoS audits."""
+
+from repro.fairqueue.bounds import (
+    audit_all,
+    audit_bandwidth,
+    audit_deadlines,
+    audit_work_conservation,
+)
+from repro.fairqueue.scheduler import Arrival, FairQueueScheduler, ServiceRecord
+
+
+def run(shares, arrivals):
+    return FairQueueScheduler(shares).run(arrivals)
+
+
+class TestDeadlineAudit:
+    def test_feasible_schedule_has_no_violations(self):
+        shares = [0.5, 0.5]
+        arrivals = [Arrival(float(i), i % 2, 1.0) for i in range(20)]
+        records = run(shares, arrivals)
+        assert audit_deadlines(records, max_preemption_latency=1.0) == []
+
+    def test_manufactured_violation_detected(self):
+        record = ServiceRecord(
+            flow_id=0, start=100.0, finish=101.0, length=1.0,
+            arrival=0.0, virtual_finish=2.0,
+        )
+        violations = audit_deadlines([record], max_preemption_latency=1.0)
+        assert len(violations) == 1
+        assert violations[0].kind == "deadline"
+
+    def test_infinite_tags_skipped(self):
+        record = ServiceRecord(
+            flow_id=1, start=100.0, finish=101.0, length=1.0,
+            arrival=0.0, virtual_finish=float("inf"),
+        )
+        assert audit_deadlines([record], 1.0) == []
+
+
+class TestBandwidthAudit:
+    def test_saturating_flows_meet_guarantee(self):
+        shares = [0.25, 0.75]
+        arrivals = [Arrival(0.0, 0, 1.0)] * 25 + [Arrival(0.0, 1, 1.0)] * 75
+        records = run(shares, arrivals)
+        assert audit_bandwidth(arrivals, records, shares, max_packet=1.0) == []
+
+    def test_starved_flow_detected(self):
+        """Hand-build a schedule where flow 0 is backlogged but unserved."""
+        arrivals = [Arrival(0.0, 0, 1.0), Arrival(0.0, 1, 1.0)] * 10
+        # Serve only flow 1, leaving flow 0 queued for 100 time units.
+        records = [
+            ServiceRecord(1, float(i), float(i + 1), 1.0, 0.0, float(i + 1))
+            for i in range(10)
+        ] + [
+            ServiceRecord(0, 100.0 + i, 101.0 + i, 1.0, 0.0, 2.0)
+            for i in range(10)
+        ]
+        violations = audit_bandwidth(arrivals, records, [0.5, 0.5], 1.0)
+        assert any(v.flow_id == 0 for v in violations)
+
+
+class TestWorkConservationAudit:
+    def test_back_to_back_schedule_passes(self):
+        shares = [1.0]
+        arrivals = [Arrival(0.0, 0, 1.0)] * 5
+        records = run(shares, arrivals)
+        assert audit_work_conservation(arrivals, records) == []
+
+    def test_idle_with_queued_work_detected(self):
+        arrivals = [Arrival(0.0, 0, 1.0), Arrival(0.0, 0, 1.0)]
+        records = [
+            ServiceRecord(0, 0.0, 1.0, 1.0, 0.0, 1.0),
+            ServiceRecord(0, 50.0, 51.0, 1.0, 0.0, 2.0),  # server napped
+        ]
+        violations = audit_work_conservation(arrivals, records)
+        assert violations and violations[0].kind == "work-conservation"
+
+
+class TestAuditAll:
+    def test_clean_schedule(self):
+        shares = [0.5, 0.5]
+        arrivals = [Arrival(float(i // 2), i % 2, 1.0) for i in range(40)]
+        records = run(shares, arrivals)
+        results = audit_all(arrivals, records, shares)
+        assert all(not v for v in results.values())

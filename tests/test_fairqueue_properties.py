@@ -1,0 +1,102 @@
+"""Property-based tests: the FQ scheduler honours its guarantees on
+arbitrary arrival patterns (hypothesis-driven)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fairqueue.bounds import audit_all
+from repro.fairqueue.scheduler import Arrival, FairQueueScheduler, service_by_flow
+
+
+@st.composite
+def workloads(draw):
+    """(shares, arrivals): a feasible allocation and a random trace."""
+    n_flows = draw(st.integers(min_value=1, max_value=4))
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=n_flows, max_size=n_flows,
+        )
+    )
+    total = sum(raw)
+    if total > 0:
+        shares = [r / max(total, 1.0) for r in raw]
+    else:
+        shares = [1.0 / n_flows] * n_flows
+    n_packets = draw(st.integers(min_value=1, max_value=40))
+    arrivals = []
+    clock = 0.0
+    for _ in range(n_packets):
+        clock += draw(st.floats(min_value=0.0, max_value=5.0))
+        flow = draw(st.integers(min_value=0, max_value=n_flows - 1))
+        length = draw(st.floats(min_value=0.25, max_value=4.0))
+        arrivals.append(Arrival(clock, flow, length))
+    return shares, arrivals
+
+
+@settings(max_examples=60, deadline=None)
+@given(workloads())
+def test_all_guarantees_hold_on_random_traces(workload):
+    """Deadline, bandwidth, and work-conservation audits all pass."""
+    shares, arrivals = workload
+    records = FairQueueScheduler(shares).run(arrivals)
+    results = audit_all(arrivals, records, shares)
+    assert not results["deadline"], results["deadline"]
+    assert not results["bandwidth"], results["bandwidth"]
+    assert not results["work_conservation"], results["work_conservation"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(workloads())
+def test_every_packet_served_exactly_once(workload):
+    shares, arrivals = workload
+    records = FairQueueScheduler(shares).run(arrivals)
+    assert len(records) == len(arrivals)
+    assert math.isclose(
+        sum(r.length for r in records), sum(a.length for a in arrivals)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(workloads())
+def test_server_never_overlaps(workload):
+    """The link serves one packet at a time."""
+    shares, arrivals = workload
+    records = sorted(
+        FairQueueScheduler(shares).run(arrivals), key=lambda r: r.start
+    )
+    for earlier, later in zip(records, records[1:]):
+        assert later.start >= earlier.finish - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(workloads())
+def test_per_flow_fifo_service(workload):
+    """Within one flow, packets complete in arrival order."""
+    shares, arrivals = workload
+    records = FairQueueScheduler(shares).run(arrivals)
+    for flow_id in range(len(shares)):
+        finishes = [r.finish for r in records if r.flow_id == flow_id]
+        assert finishes == sorted(finishes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=20, max_value=60),
+)
+def test_saturated_equal_shares_equalize_service(n_flows, n_packets):
+    """All flows permanently backlogged with equal shares -> equal service
+    in any prefix (within one packet per flow)."""
+    shares = [1.0 / n_flows] * n_flows
+    arrivals = [
+        Arrival(0.0, f, 1.0) for f in range(n_flows) for _ in range(n_packets)
+    ]
+    records = FairQueueScheduler(shares).run(arrivals)
+    horizon = float(n_packets)  # every flow still backlogged until here
+    window = [r for r in records if r.finish <= horizon]
+    totals = service_by_flow(window)
+    values = [totals.get(f, 0.0) for f in range(n_flows)]
+    assert max(values) - min(values) <= 1.0 + 1e-9

@@ -1,0 +1,103 @@
+"""Unit tests for the reference fair-queuing scheduler."""
+
+import pytest
+
+from repro.fairqueue.scheduler import (
+    Arrival,
+    FairQueueScheduler,
+    backlogged_intervals,
+    service_by_flow,
+)
+
+
+def saturating_arrivals(flow_id: int, count: int, length: float, start: float = 0.0):
+    """``count`` packets all arriving at ``start`` (continuously backlogged)."""
+    return [Arrival(start, flow_id, length) for _ in range(count)]
+
+
+class TestConstruction:
+    def test_requires_flows(self):
+        with pytest.raises(ValueError):
+            FairQueueScheduler([])
+
+    def test_rejects_overallocation(self):
+        with pytest.raises(ValueError):
+            FairQueueScheduler([0.7, 0.7])
+
+    def test_rejects_unknown_flow_and_bad_length(self):
+        sched = FairQueueScheduler([1.0])
+        with pytest.raises(ValueError):
+            sched.run([Arrival(0.0, 3, 1.0)])
+        with pytest.raises(ValueError):
+            FairQueueScheduler([1.0]).run([Arrival(0.0, 0, 0.0)])
+
+
+class TestBandwidthSplit:
+    def test_equal_shares_split_evenly(self):
+        sched = FairQueueScheduler([0.5, 0.5])
+        arrivals = saturating_arrivals(0, 50, 1.0) + saturating_arrivals(1, 50, 1.0)
+        records = sched.run(arrivals)
+        totals = service_by_flow(records)
+        # Over the first 50 time units, each flow gets ~25.
+        first_half = [r for r in records if r.finish <= 50.0]
+        halves = service_by_flow(first_half)
+        assert abs(halves[0] - halves[1]) <= 1.0
+        assert totals[0] == totals[1] == 50.0
+
+    def test_weighted_shares(self):
+        sched = FairQueueScheduler([0.75, 0.25])
+        arrivals = saturating_arrivals(0, 90, 1.0) + saturating_arrivals(1, 90, 1.0)
+        records = sched.run(arrivals)
+        window = [r for r in records if r.finish <= 80.0]
+        totals = service_by_flow(window)
+        assert totals[0] / totals[1] == pytest.approx(3.0, rel=0.1)
+
+    def test_work_conservation_idle_flow(self):
+        """A flow with no traffic donates its share to the busy flow."""
+        sched = FairQueueScheduler([0.5, 0.5])
+        records = sched.run(saturating_arrivals(0, 10, 1.0))
+        assert records[-1].finish == 10.0  # back-to-back, no idling
+
+    def test_zero_share_flow_served_only_when_alone(self):
+        sched = FairQueueScheduler([1.0, 0.0])
+        arrivals = saturating_arrivals(0, 10, 1.0) + saturating_arrivals(1, 5, 1.0)
+        records = sched.run(arrivals)
+        # All of flow 0 completes before any of flow 1 is served.
+        first_flow1 = min(r.start for r in records if r.flow_id == 1)
+        last_flow0 = max(r.finish for r in records if r.flow_id == 0)
+        assert first_flow1 >= last_flow0
+
+
+class TestServiceRecords:
+    def test_response_time(self):
+        sched = FairQueueScheduler([1.0])
+        records = sched.run([Arrival(0.0, 0, 2.0), Arrival(0.0, 0, 2.0)])
+        assert records[0].response_time == 2.0
+        assert records[1].response_time == 4.0
+
+    def test_non_preemptive_server(self):
+        """A long packet in service delays a later short one entirely."""
+        sched = FairQueueScheduler([0.5, 0.5])
+        records = sched.run(
+            [Arrival(0.0, 0, 10.0), Arrival(1.0, 1, 1.0)]
+        )
+        short = next(r for r in records if r.flow_id == 1)
+        assert short.start >= 10.0  # could not preempt
+
+
+class TestBackloggedIntervals:
+    def test_single_interval(self):
+        sched = FairQueueScheduler([1.0])
+        arrivals = [Arrival(0.0, 0, 1.0), Arrival(0.5, 0, 1.0)]
+        records = sched.run(arrivals)
+        intervals = backlogged_intervals(arrivals, records, 0)
+        assert intervals == [(0.0, 2.0)]
+
+    def test_two_disjoint_intervals(self):
+        sched = FairQueueScheduler([1.0])
+        arrivals = [Arrival(0.0, 0, 1.0), Arrival(10.0, 0, 1.0)]
+        records = sched.run(arrivals)
+        intervals = backlogged_intervals(arrivals, records, 0)
+        assert len(intervals) == 2
+        assert intervals[0] == (0.0, 1.0)
+        assert intervals[1] == (10.0, 11.0)

@@ -1,0 +1,97 @@
+"""Unit tests for the fair-queuing virtual-time algebra (Eqs. 1-2)."""
+
+import math
+
+import pytest
+
+from repro.fairqueue.virtual_time import (
+    FlowState,
+    PacketTags,
+    deadline_bound,
+    min_service_in_interval,
+    shares_feasible,
+    virtual_finish,
+    virtual_service_time,
+    virtual_start,
+)
+
+
+class TestVirtualServiceTime:
+    def test_scales_by_reciprocal_share(self):
+        assert virtual_service_time(8, 0.5) == 16
+        assert virtual_service_time(8, 0.25) == 32
+        assert virtual_service_time(8, 1.0) == 8
+
+    def test_zero_share_is_infinite(self):
+        assert math.isinf(virtual_service_time(8, 0.0))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            virtual_service_time(-1, 0.5)
+        with pytest.raises(ValueError):
+            virtual_service_time(8, 1.5)
+
+
+class TestEquations:
+    def test_eq1_start_is_max_of_arrival_and_prev_finish(self):
+        assert virtual_start(10.0, 5.0) == 10.0
+        assert virtual_start(5.0, 10.0) == 10.0
+
+    def test_eq2_finish_adds_virtual_service(self):
+        assert virtual_finish(10.0, 8, 0.5) == 26.0
+
+
+class TestFlowState:
+    def test_backlogged_packets_chain_finish_times(self):
+        flow = FlowState(0, share=0.5)
+        first = flow.tag(arrival=0.0, length=8)
+        second = flow.tag(arrival=0.0, length=8)
+        assert first.virtual_finish == 16.0
+        assert second.virtual_start == 16.0
+        assert second.virtual_finish == 32.0
+
+    def test_idle_flow_restarts_at_arrival(self):
+        flow = FlowState(0, share=0.5)
+        flow.tag(arrival=0.0, length=8)          # finish 16
+        late = flow.tag(arrival=100.0, length=8)  # idle gap: no credit
+        assert late.virtual_start == 100.0
+        assert late.virtual_finish == 116.0
+
+    def test_service_recording(self):
+        flow = FlowState(0, share=1.0)
+        flow.record_service(8)
+        flow.record_service(8)
+        assert flow.packets_served == 2
+        assert flow.service_received == 16
+
+
+class TestPacketTags:
+    def test_rejects_inverted_tags(self):
+        with pytest.raises(ValueError):
+            PacketTags(0, 0.0, 1.0, virtual_start=5.0, virtual_finish=4.0)
+
+
+class TestBounds:
+    def test_deadline_bound(self):
+        assert deadline_bound(100.0, 16.0) == 116.0
+
+    def test_min_service_guarantee(self):
+        # share .25 over 100 time units with max packet 8: at least 17.
+        assert min_service_in_interval(0.25, 100.0, 8.0) == pytest.approx(17.0)
+
+    def test_min_service_never_negative(self):
+        assert min_service_in_interval(0.1, 5.0, 8.0) == 0.0
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            min_service_in_interval(0.5, -1.0, 8.0)
+
+
+class TestSharesFeasible:
+    def test_feasible(self):
+        assert shares_feasible([0.25, 0.25, 0.5])
+        assert shares_feasible([0.5, 0.1])
+
+    def test_infeasible(self):
+        assert not shares_feasible([0.6, 0.6])
+        assert not shares_feasible([-0.1, 0.5])

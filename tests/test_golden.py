@@ -1,0 +1,129 @@
+"""Golden regression tests: pin deterministic simulator outputs.
+
+The whole stack is deterministic (stable RNG seeding, no wall-clock),
+so key end-to-end numbers are pinned here with tight tolerances.  A
+failure means the *timing behaviour* changed — which is sometimes
+intended (update the numbers with the commit that changes behaviour),
+but must never happen silently.
+"""
+
+import pytest
+
+from repro.common.config import VPCAllocation, baseline_config
+from repro.system.cmp import CMPSystem
+from repro.system.simulator import run_simulation
+from repro.workloads import loads_trace, spec_trace, stores_trace
+
+
+def run_loads_stores(arbiter, shares=(0.5, 0.5)):
+    config = baseline_config(
+        n_threads=2, arbiter=arbiter,
+        vpc=VPCAllocation(list(shares), [0.5, 0.5]),
+    )
+    system = CMPSystem(config, [loads_trace(0), stores_trace(1)])
+    return run_simulation(system, warmup=40_000, measure=20_000)
+
+
+class TestMicrobenchmarkGoldens:
+    """The Figure-8 anchors: these are *exact* steady-state rates."""
+
+    def test_loads_solo_rate(self):
+        config = baseline_config(n_threads=1, arbiter="row-fcfs",
+                                 vpc=VPCAllocation([1.0], [1.0]))
+        result = run_simulation(
+            CMPSystem(config, [loads_trace(0)]), warmup=40_000, measure=20_000
+        )
+        # 2 banks / 8-cycle data reads, 4 loads + 1 overhead per group:
+        # 0.25 loads/cycle * 5/4 = 0.3125 IPC.
+        assert result.ipcs[0] == pytest.approx(0.3125, abs=0.002)
+
+    def test_stores_solo_rate(self):
+        config = baseline_config(n_threads=1, arbiter="row-fcfs",
+                                 vpc=VPCAllocation([1.0], [1.0]))
+        result = run_simulation(
+            CMPSystem(config, [stores_trace(0)]), warmup=40_000, measure=20_000
+        )
+        # 2 banks / 16-cycle writes: 0.125 stores/cycle * 5/4 = 0.15625.
+        assert result.ipcs[0] == pytest.approx(0.15625, abs=0.002)
+
+    def test_vpc_5050_split(self):
+        result = run_loads_stores("vpc", shares=(0.5, 0.5))
+        assert result.ipcs[0] == pytest.approx(0.15625, abs=0.002)
+        assert result.ipcs[1] == pytest.approx(0.078125, abs=0.002)
+
+    def test_fcfs_interleave(self):
+        result = run_loads_stores("fcfs")
+        assert result.ipcs[0] == pytest.approx(0.104, abs=0.003)
+        assert result.ipcs[1] == pytest.approx(0.104, abs=0.003)
+
+    def test_row_fcfs_starvation_exact(self):
+        result = run_loads_stores("row-fcfs")
+        assert result.ipcs[1] == 0.0
+        assert result.ipcs[0] == pytest.approx(0.3125, abs=0.002)
+
+
+class TestSyntheticGoldens:
+    """Calibrated-profile behaviour, looser tolerance (stochastic but
+    seeded: exact reproducibility, the tolerance is for future
+    calibration adjustments to be deliberate)."""
+
+    @pytest.mark.parametrize(
+        "name,ipc_range",
+        [
+            ("art", (0.55, 0.90)),
+            ("mcf", (0.35, 0.60)),
+            ("sixtrack", (3.5, 4.6)),
+        ],
+    )
+    def test_solo_ipc_bands(self, name, ipc_range):
+        config = baseline_config(n_threads=1, arbiter="row-fcfs",
+                                 vpc=VPCAllocation([1.0], [1.0]))
+        result = run_simulation(
+            CMPSystem(config, [spec_trace(name, 0)]),
+            warmup=30_000, measure=20_000,
+        )
+        low, high = ipc_range
+        assert low <= result.ipcs[0] <= high
+
+    def test_same_seed_bit_identical(self):
+        """Two identical constructions produce identical measurements."""
+        def once():
+            config = baseline_config(n_threads=2, arbiter="vpc",
+                                     vpc=VPCAllocation.equal(2))
+            system = CMPSystem(
+                config, [spec_trace("gcc", 0), spec_trace("art", 1)]
+            )
+            return run_simulation(system, warmup=10_000, measure=10_000)
+
+        first, second = once(), once()
+        assert first.ipcs == second.ipcs
+        assert first.utilizations == second.utilizations
+        assert first.l2_reads == second.l2_reads
+
+
+class TestTimingGoldens:
+    def test_memory_idle_latency(self):
+        """DDR2-800 5-5-5 closed page behind the controller: 78 cycles."""
+        from repro.common.config import MemoryConfig
+        from repro.memory.controller import MemoryController
+        controller = MemoryController(MemoryConfig(), 1)
+        # (tRCD 5 + CL 5 + burst 4) * 5 + 2 * 4 overhead = 78.
+        assert controller.idle_read_latency() == 78
+
+    def test_l2_hit_critical_word(self):
+        """The Figure-4 anchor, end to end through the full system."""
+        from repro.cpu.isa import load, nonmem
+        config = baseline_config(n_threads=1, arbiter="row-fcfs",
+                                 vpc=VPCAllocation([1.0], [1.0]))
+        base = 1 << 30
+        system = CMPSystem(config, [iter([load(base), nonmem(1)])])
+        system.banks[system.bank_of(base // 64)].array.insert(base // 64, 0)
+        captured = []
+        for bank in system.banks:
+            original = bank.respond
+            bank.respond = (lambda orig: lambda req, now:
+                            (captured.append((req, now)), orig(req, now)))(original)
+        system.run(60)
+        loads_seen = [(r, t) for r, t in captured if r.is_read]
+        request, when = loads_seen[0]
+        assert when - request.issued_cycle == 16

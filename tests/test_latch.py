@@ -1,0 +1,70 @@
+"""Unit tests for repro.common.latch delay queues."""
+
+import pytest
+
+from repro.common.latch import DelayLine, VariableDelayQueue
+
+
+class TestDelayLine:
+    def test_delivers_after_delay(self):
+        line = DelayLine(2)
+        line.push(10, "a")
+        assert list(line.pop_ready(11)) == []
+        assert list(line.pop_ready(12)) == ["a"]
+
+    def test_preserves_order(self):
+        line = DelayLine(3)
+        line.push(0, "a")
+        line.push(1, "b")
+        assert list(line.pop_ready(10)) == ["a", "b"]
+
+    def test_zero_delay(self):
+        line = DelayLine(0)
+        line.push(5, "x")
+        assert list(line.pop_ready(5)) == ["x"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            DelayLine(-1)
+
+    def test_len_and_in_flight(self):
+        line = DelayLine(2)
+        line.push(0, "a")
+        line.push(0, "b")
+        assert len(line) == 2
+        assert line.in_flight == 2
+        list(line.pop_ready(2))
+        assert len(line) == 0
+
+    def test_peek_ready(self):
+        line = DelayLine(1)
+        line.push(0, "a")
+        assert not line.peek_ready(0)
+        assert line.peek_ready(1)
+
+
+class TestVariableDelayQueue:
+    def test_orders_by_ready_cycle(self):
+        queue = VariableDelayQueue()
+        queue.push_at(10, "late")
+        queue.push_at(5, "early")
+        assert list(queue.pop_ready(10)) == ["early", "late"]
+
+    def test_stable_for_equal_cycles(self):
+        queue = VariableDelayQueue()
+        queue.push_at(5, "first")
+        queue.push_at(5, "second")
+        assert list(queue.pop_ready(5)) == ["first", "second"]
+
+    def test_partial_pop(self):
+        queue = VariableDelayQueue()
+        queue.push_at(1, "a")
+        queue.push_at(3, "b")
+        assert list(queue.pop_ready(2)) == ["a"]
+        assert len(queue) == 1
+
+    def test_next_ready_cycle(self):
+        queue = VariableDelayQueue()
+        assert queue.next_ready_cycle() == -1
+        queue.push_at(7, "x")
+        assert queue.next_ready_cycle() == 7

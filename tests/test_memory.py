@@ -1,0 +1,121 @@
+"""Unit tests for the DDR2 channel model and memory controller."""
+
+import pytest
+
+from repro.common.config import MemoryConfig
+from repro.memory.controller import MemoryController
+from repro.memory.dram import DRAMChannel
+
+
+class TestDRAMChannel:
+    def test_idle_read_latency(self):
+        config = MemoryConfig()
+        channel = DRAMChannel(config)
+        completions = []
+        channel.enqueue_read(0, completions.append, now=0)
+        for now in range(300):
+            channel.tick(now)
+        expected = (config.t_rcd + config.t_cl + config.burst_cycles) * config.clock_divider
+        assert completions == [expected]
+        assert channel.idle_latency() == expected
+
+    def test_bank_conflict_serializes(self):
+        """Two reads to the same DRAM bank pay the full closed-page cycle."""
+        config = MemoryConfig()
+        channel = DRAMChannel(config)
+        completions = []
+        n_banks = channel.n_banks
+        channel.enqueue_read(0, completions.append, now=0)
+        channel.enqueue_read(n_banks, completions.append, now=0)  # same bank
+        for now in range(500):
+            channel.tick(now)
+        first = completions[0]
+        # Second must wait for the precharge after the first.
+        assert completions[1] >= first + config.t_rp * config.clock_divider
+
+    def test_bank_parallelism_overlaps(self):
+        """Reads to different banks overlap; the data bus is the limit."""
+        config = MemoryConfig()
+        channel = DRAMChannel(config)
+        completions = []
+        channel.enqueue_read(0, completions.append, now=0)
+        channel.enqueue_read(1, completions.append, now=0)
+        for now in range(500):
+            channel.tick(now)
+        gap = completions[1] - completions[0]
+        assert gap <= config.burst_cycles * config.clock_divider + config.clock_divider
+
+    def test_reads_prioritized_over_writes(self):
+        config = MemoryConfig()
+        channel = DRAMChannel(config)
+        completions = []
+        channel.enqueue_write(0, now=0)
+        channel.enqueue_write(1, now=0)
+        channel.enqueue_read(2, completions.append, now=0)
+        channel.tick(0)   # the read should issue first
+        assert channel.reads_done == 1
+        assert channel.writes_done == 0
+
+    def test_transaction_buffer_capacity(self):
+        config = MemoryConfig(transaction_buffer=2)
+        channel = DRAMChannel(config)
+        channel.enqueue_read(0, lambda cycle: None, now=0)
+        channel.enqueue_read(1, lambda cycle: None, now=0)
+        assert not channel.can_accept_read()
+        with pytest.raises(RuntimeError):
+            channel.enqueue_read(2, lambda cycle: None, now=0)
+
+    def test_write_buffer_capacity(self):
+        config = MemoryConfig(write_buffer=1)
+        channel = DRAMChannel(config)
+        channel.enqueue_write(0, now=0)
+        assert not channel.can_accept_write()
+
+    def test_request_not_issued_before_enqueue_time(self):
+        channel = DRAMChannel(MemoryConfig())
+        completions = []
+        channel.enqueue_read(0, completions.append, now=10)
+        channel.tick(0)
+        assert channel.reads_done == 0
+        for now in range(1, 200):
+            channel.tick(now)
+        assert completions
+
+
+class TestMemoryController:
+    def test_private_channels(self):
+        controller = MemoryController(MemoryConfig(), n_threads=2)
+        assert len(controller.channels) == 2
+        assert controller._channel(0) is not controller._channel(1)
+
+    def test_thread_isolation(self):
+        """Traffic from thread 0 never delays thread 1 (private channels)."""
+        controller = MemoryController(MemoryConfig(), n_threads=2)
+        t0_times, t1_times = [], []
+        for i in range(8):
+            if controller.can_accept_read(0):
+                controller.enqueue_read(0, i, t0_times.append, now=0)
+        controller.enqueue_read(1, 0, t1_times.append, now=0)
+        for now in range(2000):
+            controller.tick(now)
+        assert t1_times[0] == controller.idle_read_latency()
+
+    def test_overhead_added(self):
+        controller = MemoryController(MemoryConfig(), n_threads=1)
+        times = []
+        controller.enqueue_read(0, 0, times.append, now=0)
+        for now in range(500):
+            controller.tick(now)
+        assert times[0] == controller.idle_read_latency()
+        assert times[0] > controller.channels[0].idle_latency()
+
+    def test_bad_thread_rejected(self):
+        controller = MemoryController(MemoryConfig(), n_threads=1)
+        with pytest.raises(ValueError):
+            controller.can_accept_read(2)
+
+    def test_busy_flag(self):
+        controller = MemoryController(MemoryConfig(), n_threads=1)
+        assert not controller.busy()
+        controller.enqueue_read(0, 0, lambda c: None, now=0)
+        assert controller.busy()

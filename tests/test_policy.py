@@ -1,0 +1,92 @@
+"""Tests for the feedback share allocator (software policy layer)."""
+
+import pytest
+
+from repro.common.config import VPCAllocation, baseline_config
+from repro.policy import FeedbackAllocator
+from repro.system.cmp import CMPSystem
+from repro.workloads import loads_trace, stores_trace
+
+
+def make_system(shares=(0.5, 0.5)):
+    config = baseline_config(
+        n_threads=2, arbiter="vpc",
+        vpc=VPCAllocation(list(shares), [0.5, 0.5]),
+    )
+    system = CMPSystem(config, [loads_trace(0), stores_trace(1)])
+    system.run(30_000)   # steady state before control starts
+    return system
+
+
+class TestValidation:
+    def test_requires_vpc(self):
+        config = baseline_config(n_threads=2, arbiter="fcfs")
+        system = CMPSystem(config, [loads_trace(0), stores_trace(1)])
+        with pytest.raises(ValueError):
+            FeedbackAllocator(system, 0, target_ipc=0.1)
+
+    def test_parameter_checks(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            FeedbackAllocator(system, 5, target_ipc=0.1)
+        with pytest.raises(ValueError):
+            FeedbackAllocator(system, 0, target_ipc=0.0)
+        with pytest.raises(ValueError):
+            FeedbackAllocator(system, 0, 0.1, increase=0.9)
+        with pytest.raises(ValueError):
+            FeedbackAllocator(system, 0, 0.1, min_share=0.9, max_share=0.5)
+
+
+class TestControlLoop:
+    def test_grows_share_to_meet_target(self):
+        """Loads starts at 25% (IPC ~0.078); a 0.2-IPC target needs ~65%."""
+        system = make_system(shares=(0.25, 0.75))
+        allocator = FeedbackAllocator(
+            system, thread_id=0, target_ipc=0.20, epoch_cycles=4_000
+        )
+        allocator.run(epochs=14)
+        assert allocator.converged()
+        last = allocator.decisions[-1]
+        assert last.observed_ipc >= 0.19
+        assert last.share_after > 0.25
+
+    def test_releases_excess_share(self):
+        """Loads at 90% overshoots a 0.1-IPC target; the controller
+        shrinks its share and the neighbour speeds up."""
+        system = make_system(shares=(0.9, 0.1))
+        stores_before = system.cores[1].dispatched
+        allocator = FeedbackAllocator(
+            system, thread_id=0, target_ipc=0.10, epoch_cycles=4_000
+        )
+        allocator.run(epochs=14)
+        last = allocator.decisions[-1]
+        assert last.share_after < 0.9
+        assert last.observed_ipc >= 0.09   # still meets the target
+        assert system.cores[1].dispatched > stores_before
+
+    def test_infeasible_target_pins_at_max(self):
+        system = make_system()
+        allocator = FeedbackAllocator(
+            system, thread_id=0, target_ipc=5.0, epoch_cycles=3_000,
+            max_share=0.9,
+        )
+        allocator.run(epochs=10)
+        assert allocator.current_share == pytest.approx(0.9)
+        assert allocator.converged()   # pinned counts as converged
+
+    def test_decisions_recorded(self):
+        system = make_system()
+        allocator = FeedbackAllocator(system, 0, target_ipc=0.1,
+                                      epoch_cycles=2_000)
+        decision = allocator.epoch()
+        assert decision.cycle == system.cycle
+        assert decision.share_before == pytest.approx(0.5)
+
+    def test_shares_always_feasible(self):
+        """Register writes never over-allocate mid-adjustment."""
+        system = make_system(shares=(0.25, 0.75))
+        allocator = FeedbackAllocator(system, 0, target_ipc=0.25,
+                                      epoch_cycles=2_000)
+        allocator.run(epochs=8)
+        for resource in ("tag", "data", "bus"):
+            assert sum(system.registers.bandwidth[resource]) <= 1.0 + 1e-9

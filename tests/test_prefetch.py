@@ -1,0 +1,159 @@
+"""Tests for the VPC-supported prefetching extension (paper future work).
+
+Covers: next-line issue policy, MSHR accounting, usefulness tracking,
+demand-over-prefetch intra-thread priority in the VPC arbiter, and the
+end-to-end effect on a streaming (DRAM-latency-bound) workload.
+"""
+
+import itertools
+
+import pytest
+
+from repro.common.config import (
+    CoreConfig,
+    L1Config,
+    VPCAllocation,
+    baseline_config,
+)
+from repro.core.arbiter import ArbiterEntry
+from repro.core.vpc_arbiter import VPCArbiter
+from repro.cpu.core_model import CoreModel
+from repro.cpu.isa import load, nonmem
+from repro.system.cmp import CMPSystem
+from repro.system.simulator import run_simulation
+from repro.workloads.synthetic import WorkloadProfile, synthetic_trace
+
+
+class Fabric:
+    def __init__(self):
+        self.requests = []
+
+    def send(self, core_id, request, now):
+        self.requests.append(request)
+
+
+def make_core(trace, prefetch=True, degree=2, mshrs=16):
+    fabric = Fabric()
+    core = CoreModel(
+        core_id=0,
+        config=CoreConfig(prefetch_enabled=prefetch, prefetch_degree=degree),
+        l1_config=L1Config(mshrs=mshrs),
+        trace=iter(trace),
+        send_request=fabric.send,
+    )
+    return core, fabric
+
+
+class TestIssuePolicy:
+    def test_demand_miss_triggers_next_lines(self):
+        core, fabric = make_core([load(0x1000), nonmem(10)], degree=2)
+        core.tick(0)
+        lines = sorted(r.line for r in fabric.requests)
+        assert lines == [0x1000 // 64 + d for d in range(3)]
+        prefetches = [r for r in fabric.requests if r.is_prefetch]
+        assert len(prefetches) == 2
+        assert core.prefetches_issued == 2
+
+    def test_disabled_by_default(self):
+        core, fabric = make_core([load(0x1000), nonmem(10)], prefetch=False)
+        core.tick(0)
+        assert len(fabric.requests) == 1
+        assert core.prefetches_issued == 0
+
+    def test_no_prefetch_for_cached_or_inflight_lines(self):
+        core, fabric = make_core([load(0x1000), nonmem(10)], degree=2)
+        core.l1.fill(0x1000 + 64)          # next line already in L1
+        core.tick(0)
+        prefetch_lines = {r.line for r in fabric.requests if r.is_prefetch}
+        assert 0x1000 // 64 + 1 not in prefetch_lines
+
+    def test_prefetch_respects_mshr_capacity(self):
+        core, fabric = make_core([load(0x1000), nonmem(10)], degree=8, mshrs=3)
+        core.tick(0)
+        assert core.mshrs.outstanding == 3   # 1 demand + 2 prefetches
+
+    def test_prefetch_does_not_block_window(self):
+        core, fabric = make_core(
+            [load(0x1000), nonmem(1000)], degree=4
+        )
+        for now in range(30):
+            core.tick(now)
+        # Window is held by the single demand load only (size 100).
+        assert core.dispatched == 1 + 99
+
+
+class TestUsefulness:
+    def test_demand_hit_on_inflight_prefetch_counts(self):
+        core, fabric = make_core(
+            [load(0x1000), load(0x1000 + 64), nonmem(10)], degree=1
+        )
+        core.tick(0)    # miss + prefetch of next line; second load coalesces
+        for request in list(fabric.requests):
+            core.on_response(request, 20)
+        assert core.prefetches_useful == 1
+        assert core.prefetch_accuracy() == pytest.approx(1.0)
+
+    def test_unused_prefetch_not_counted(self):
+        core, fabric = make_core([load(0x1000), nonmem(10)], degree=1)
+        core.tick(0)
+        for request in list(fabric.requests):
+            core.on_response(request, 20)
+        assert core.prefetches_useful == 0
+
+    def test_prefetch_fills_l1(self):
+        core, fabric = make_core([load(0x1000), nonmem(10)], degree=1)
+        core.tick(0)
+        for request in list(fabric.requests):
+            core.on_response(request, 20)
+        assert core.l1.array.contains(0x1000 // 64 + 1)
+
+
+class TestArbiterPriority:
+    def entry(self, name, is_write=False, is_prefetch=False):
+        return ArbiterEntry(thread_id=0, payload=name, is_write=is_write,
+                            is_prefetch=is_prefetch)
+
+    def test_demand_read_beats_older_prefetch(self):
+        arbiter = VPCArbiter(1, [1.0], 8)
+        arbiter.enqueue(self.entry("pf", is_prefetch=True), 0)
+        arbiter.enqueue(self.entry("demand"), 0)
+        assert arbiter.select(0).payload == "demand"
+        assert arbiter.select(0).payload == "pf"
+
+    def test_prefetch_beats_write(self):
+        arbiter = VPCArbiter(1, [1.0], 8)
+        arbiter.enqueue(self.entry("w", is_write=True), 0)
+        arbiter.enqueue(self.entry("pf", is_prefetch=True), 0)
+        assert arbiter.select(0).payload == "pf"
+
+    def test_fifo_mode_ignores_priority(self):
+        arbiter = VPCArbiter(1, [1.0], 8, intra_thread_row=False)
+        arbiter.enqueue(self.entry("pf", is_prefetch=True), 0)
+        arbiter.enqueue(self.entry("demand"), 0)
+        assert arbiter.select(0).payload == "pf"
+
+
+class TestEndToEnd:
+    def _streaming_ipc(self, prefetch: bool) -> float:
+        """A dependent-load cold-streaming thread: MLP = 1, so every miss
+        sits on the critical path and next-line prefetching pays off."""
+        profile = WorkloadProfile(
+            name="stream", mem_fraction=0.1, store_fraction=0.02,
+            p_hot=0.0, p_warm=0.0, p_cold=1.0,
+            cold_bytes=64 * 1024 * 1024, run_length=1, store_run_length=4,
+            dependent_prob=1.0,
+        ).validate()
+        config = baseline_config(n_threads=1, arbiter="row-fcfs",
+                                 vpc=VPCAllocation([1.0], [1.0]))
+        from dataclasses import replace
+        config = replace(
+            config,
+            core=CoreConfig(prefetch_enabled=prefetch, prefetch_degree=2),
+        ).validate()
+        system = CMPSystem(config, [synthetic_trace(profile, 0)])
+        return run_simulation(system, warmup=15_000, measure=15_000).ipcs[0]
+
+    def test_prefetching_speeds_up_streaming_workload(self):
+        with_pf = self._streaming_ipc(True)
+        without_pf = self._streaming_ipc(False)
+        assert with_pf > without_pf * 1.1

@@ -1,0 +1,55 @@
+"""Unit tests for QoS accounting (targets, normalization, monotonicity)."""
+
+import pytest
+
+from repro.core.qos import QoSOutcome, monotonicity_violations, summarize
+
+
+class TestQoSOutcome:
+    def test_normalized(self):
+        outcome = QoSOutcome(0, ipc=0.5, target_ipc=0.4)
+        assert outcome.normalized == pytest.approx(1.25)
+
+    def test_meets_target_with_tolerance(self):
+        assert QoSOutcome(0, 0.96, 1.0).meets_target(tolerance=0.05)
+        assert not QoSOutcome(0, 0.90, 1.0).meets_target(tolerance=0.05)
+
+    def test_zero_target_rejected(self):
+        with pytest.raises(ValueError):
+            _ = QoSOutcome(0, 0.5, 0.0).normalized
+
+
+class TestSummarize:
+    def test_headline_metrics(self):
+        outcomes = [
+            QoSOutcome(0, 1.0, 1.0),
+            QoSOutcome(1, 0.5, 1.0),
+        ]
+        hmean, minimum = summarize(outcomes)
+        assert minimum == pytest.approx(0.5)
+        assert hmean == pytest.approx(2 / 3)
+
+    def test_min_is_worst_thread(self):
+        outcomes = [QoSOutcome(i, ipc, 1.0) for i, ipc in enumerate([2.0, 0.25, 1.0])]
+        _, minimum = summarize(outcomes)
+        assert minimum == pytest.approx(0.25)
+
+
+class TestMonotonicity:
+    def test_monotone_curve_clean(self):
+        points = [(0.25, 0.1), (0.5, 0.2), (1.0, 0.35)]
+        assert monotonicity_violations(points) == []
+
+    def test_violation_detected(self):
+        points = [(0.25, 0.2), (0.5, 0.1)]
+        violations = monotonicity_violations(points)
+        assert len(violations) == 1
+        assert violations[0][0] == 0.25
+
+    def test_small_dip_within_tolerance(self):
+        points = [(0.25, 0.200), (0.5, 0.199)]
+        assert monotonicity_violations(points, tolerance=0.02) == []
+
+    def test_unsorted_input_sorted_first(self):
+        points = [(1.0, 0.35), (0.25, 0.1), (0.5, 0.2)]
+        assert monotonicity_violations(points) == []

@@ -1,0 +1,46 @@
+"""Unit tests for repro.common.records."""
+
+import pytest
+
+from repro.common.records import AccessType, MemoryRequest, make_request
+
+
+class TestMakeRequest:
+    def test_line_derivation(self):
+        req = make_request(0, 64 * 5 + 12, AccessType.READ, 64)
+        assert req.line == 5
+        assert req.addr == 64 * 5 + 12
+
+    def test_line_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            make_request(0, 0, AccessType.READ, 48)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(0, -1, AccessType.READ, 64)
+
+    def test_zero_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(0, 0, AccessType.READ, 0)
+
+    def test_ids_are_unique(self):
+        a = make_request(0, 0, AccessType.READ, 64)
+        b = make_request(0, 0, AccessType.READ, 64)
+        assert a.req_id != b.req_id
+
+
+class TestMemoryRequest:
+    def test_read_write_predicates(self):
+        read = make_request(1, 0, AccessType.READ, 64)
+        write = make_request(1, 0, AccessType.WRITE, 64)
+        assert read.is_read and not read.is_write
+        assert write.is_write and not write.is_read
+
+    def test_lifecycle_timestamps_default_unset(self):
+        req = make_request(0, 0, AccessType.READ, 64)
+        assert req.tag_done_cycle == -1
+        assert req.completed_cycle == -1
+
+    def test_repr_mentions_thread_and_kind(self):
+        req = make_request(3, 128, AccessType.WRITE, 64)
+        assert "W" in repr(req) and "t3" in repr(req)

@@ -1,0 +1,83 @@
+"""Unit tests for the VPC control-register file."""
+
+import pytest
+
+from repro.core.registers import BANDWIDTH_RESOURCES, VPCControlRegisters
+
+
+class TestDefaults:
+    def test_equal_shares_at_reset(self):
+        regs = VPCControlRegisters(4)
+        for resource in BANDWIDTH_RESOURCES:
+            assert regs.bandwidth[resource] == [0.25] * 4
+        assert regs.capacity == [0.25] * 4
+
+    def test_needs_threads(self):
+        with pytest.raises(ValueError):
+            VPCControlRegisters(0)
+
+
+class TestWrites:
+    def test_write_bandwidth_all_resources(self):
+        regs = VPCControlRegisters(2)
+        regs.write_bandwidth(0, 0.3)
+        for resource in BANDWIDTH_RESOURCES:
+            assert regs.bandwidth[resource][0] == 0.3
+
+    def test_write_single_resource(self):
+        """The paper's general form: per-resource allocation."""
+        regs = VPCControlRegisters(2)
+        regs.write_bandwidth(0, 0.1, resource="tag")
+        assert regs.bandwidth["tag"][0] == 0.1
+        assert regs.bandwidth["data"][0] == 0.5
+
+    def test_unknown_resource_rejected(self):
+        regs = VPCControlRegisters(2)
+        with pytest.raises(ValueError):
+            regs.write_bandwidth(0, 0.1, resource="prefetch")
+
+    def test_overallocation_rejected(self):
+        regs = VPCControlRegisters(2)
+        with pytest.raises(ValueError):
+            regs.write_bandwidth(0, 0.6)  # 0.6 + 0.5 > 1
+
+    def test_capacity_write(self):
+        regs = VPCControlRegisters(2)
+        regs.write_capacity(1, 0.25)
+        assert regs.capacity[1] == 0.25
+
+    def test_share_range_checked(self):
+        regs = VPCControlRegisters(2)
+        with pytest.raises(ValueError):
+            regs.write_capacity(0, 1.5)
+        with pytest.raises(ValueError):
+            regs.write_bandwidth(5, 0.1)
+
+
+class TestBulkLoad:
+    def test_load_allocation(self):
+        regs = VPCControlRegisters(4)
+        regs.load_allocation([0.5, 0.1, 0.1, 0.1], [0.5, 0.1, 0.1, 0.1])
+        assert regs.bandwidth["bus"] == [0.5, 0.1, 0.1, 0.1]
+        assert regs.capacity == [0.5, 0.1, 0.1, 0.1]
+
+    def test_load_rejects_overallocation(self):
+        regs = VPCControlRegisters(2)
+        with pytest.raises(ValueError):
+            regs.load_allocation([0.7, 0.7], [0.5, 0.5])
+
+    def test_load_rejects_length_mismatch(self):
+        regs = VPCControlRegisters(2)
+        with pytest.raises(ValueError):
+            regs.load_allocation([1.0], [0.5, 0.5])
+
+
+class TestNotification:
+    def test_listeners_called_on_write(self):
+        regs = VPCControlRegisters(2)
+        events = []
+        regs.subscribe(lambda res, tid, share: events.append((res, tid, share)))
+        regs.write_bandwidth(0, 0.4)
+        assert len(events) == len(BANDWIDTH_RESOURCES)
+        regs.write_capacity(1, 0.3)
+        assert events[-1] == ("capacity", 1, 0.3)

@@ -1,0 +1,151 @@
+"""Tests for the shared DRAM channel and its FQ scheduler (the VPM
+framework's memory-bandwidth component)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import MemoryConfig, VPCAllocation, baseline_config
+from repro.memory.controller import MemoryController
+from repro.memory.fq_scheduler import SharedDRAMChannel
+from repro.system.cmp import CMPSystem
+from repro.system.simulator import run_simulation
+from repro.workloads import loads_trace, stores_trace
+
+
+def drive(channel, horizon, feeders):
+    """feeders: {cycle: [(tid, line, is_write, sink)]}."""
+    for now in range(horizon):
+        for tid, line, is_write, sink in feeders.get(now, ()):
+            if is_write:
+                channel.enqueue_write(tid, line, now)
+            else:
+                channel.enqueue_read(tid, line, sink.append, now)
+        channel.tick(now)
+
+
+class TestConstruction:
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            SharedDRAMChannel(MemoryConfig(), 2, policy="lottery")
+
+    def test_bad_shares(self):
+        with pytest.raises(ValueError):
+            SharedDRAMChannel(MemoryConfig(), 2, shares=[0.7, 0.7])
+        with pytest.raises(ValueError):
+            SharedDRAMChannel(MemoryConfig(), 2, shares=[1.0])
+
+    def test_default_equal_shares(self):
+        channel = SharedDRAMChannel(MemoryConfig(), 4)
+        assert channel.shares == [0.25] * 4
+
+
+class TestScheduling:
+    def test_single_read_latency_matches_private(self):
+        config = MemoryConfig()
+        shared = SharedDRAMChannel(config, 2)
+        done = []
+        shared.enqueue_read(0, 0, done.append, 0)
+        for now in range(300):
+            shared.tick(now)
+        assert done == [shared.idle_latency()]
+
+    def test_fq_divides_bandwidth_by_share(self):
+        """Two saturating threads with 75/25 shares split channel service
+        accordingly."""
+        config = MemoryConfig(transaction_buffer=64)
+        channel = SharedDRAMChannel(config, 2, policy="fq", shares=[0.75, 0.25])
+        sink = []
+        feeders = {}
+        for cycle in range(0, 4000, 10):
+            feeders.setdefault(cycle, []).extend([
+                (0, cycle // 10, False, sink),
+                (1, 1000 + cycle // 10, False, sink),
+            ])
+        drive(channel, 8000, feeders)
+        granted = channel.service_granted
+        assert granted[0] / max(granted[1], 1) == pytest.approx(3.0, rel=0.15)
+
+    def test_fcfs_ignores_shares(self):
+        config = MemoryConfig(transaction_buffer=64)
+        channel = SharedDRAMChannel(config, 2, policy="fcfs", shares=[0.75, 0.25])
+        sink = []
+        feeders = {}
+        for cycle in range(0, 4000, 10):
+            feeders.setdefault(cycle, []).extend([
+                (0, cycle // 10, False, sink),
+                (1, 1000 + cycle // 10, False, sink),
+            ])
+        drive(channel, 8000, feeders)
+        granted = channel.service_granted
+        assert granted[0] == pytest.approx(granted[1], rel=0.1)
+
+    def test_work_conserving_when_one_thread_idle(self):
+        channel = SharedDRAMChannel(
+            MemoryConfig(transaction_buffer=64), 2, shares=[0.5, 0.5]
+        )
+        done = []
+        feeders = {0: [(1, i, False, done) for i in range(20)]}
+        drive(channel, 4000, feeders)
+        assert len(done) == 20
+
+    def test_reads_before_writes_within_thread(self):
+        channel = SharedDRAMChannel(MemoryConfig(), 1)
+        done = []
+        channel.enqueue_write(0, 0, 0)
+        channel.enqueue_read(0, 1, done.append, 0)
+        channel.tick(0)   # the read issues first despite arriving later
+        assert channel.reads_done == 1 and channel.writes_done == 0
+
+    def test_per_thread_buffers_enforced(self):
+        config = MemoryConfig(transaction_buffer=2, write_buffer=1)
+        channel = SharedDRAMChannel(config, 2)
+        channel.enqueue_read(0, 0, lambda c: None, 0)
+        channel.enqueue_read(0, 1, lambda c: None, 0)
+        assert not channel.can_accept_read(0)
+        assert channel.can_accept_read(1)   # the other thread is unaffected
+        channel.enqueue_write(1, 5, 0)
+        assert not channel.can_accept_write(1)
+
+
+class TestControllerIntegration:
+    def test_shared_mode_single_channel(self):
+        config = MemoryConfig(sharing="shared")
+        controller = MemoryController(config, 4)
+        assert len(controller.channels) == 1
+
+    def test_invalid_sharing_mode(self):
+        with pytest.raises(ValueError):
+            MemoryController(MemoryConfig(sharing="telepathic"), 2)
+
+    def test_full_system_shared_fq_protects_subject(self):
+        """End to end: a miss-heavy subject sharing ONE memory channel
+        with three read-flooding co-runners — FQ scheduling preserves
+        far more of its performance than FCFS (which serves the channel
+        proportionally to request rate, i.e. to the flooders)."""
+        from repro.workloads import spec_trace
+        from repro.workloads.synthetic import WorkloadProfile, synthetic_trace
+
+        flood = WorkloadProfile(
+            name="flood", mem_fraction=0.5, store_fraction=0.02,
+            p_hot=0.0, p_warm=0.0, p_cold=1.0,
+            cold_bytes=64 * 1024 * 1024,
+            run_length=1, store_run_length=1,
+        ).validate()
+
+        def run(scheduler):
+            memory = MemoryConfig(sharing="shared", shared_scheduler=scheduler)
+            vpc = VPCAllocation.equal(4)
+            config = replace(
+                baseline_config(n_threads=4, arbiter="vpc", vpc=vpc),
+                memory=memory,
+            ).validate()
+            traces = [spec_trace("swim", 0)] + [
+                synthetic_trace(flood, t) for t in (1, 2, 3)
+            ]
+            system = CMPSystem(config, traces)
+            return run_simulation(system, warmup=25_000, measure=15_000).ipcs[0]
+
+        fq_ipc = run("fq")
+        fcfs_ipc = run("fcfs")
+        assert fq_ipc > fcfs_ipc * 1.5

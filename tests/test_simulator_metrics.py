@@ -1,0 +1,92 @@
+"""Unit tests for the simulation driver and cross-run metrics."""
+
+import pytest
+
+from repro.common.config import VPCAllocation, baseline_config
+from repro.core.qos import QoSOutcome
+from repro.system import (
+    CMPSystem,
+    run_simulation,
+    qos_outcomes,
+    target_ipc,
+    workload_summary,
+)
+from repro.workloads import loads_trace, stores_trace
+
+
+def small_system(arbiter="fcfs"):
+    config = baseline_config(n_threads=2, arbiter=arbiter)
+    return CMPSystem(config, [loads_trace(0), stores_trace(1)])
+
+
+class TestRunSimulation:
+    def test_measurement_interval_only(self):
+        """Stats cover the measure window, not warmup."""
+        system = small_system()
+        result = run_simulation(system, warmup=5_000, measure=5_000)
+        assert result.cycles == 5_000
+        assert result.warmup_cycles == 5_000
+        assert system.cycle == 10_000
+        # instructions == ipc * cycles by construction
+        for ipc, insts in zip(result.ipcs, result.instructions):
+            assert insts == pytest.approx(ipc * result.cycles)
+
+    def test_invalid_intervals_rejected(self):
+        system = small_system()
+        with pytest.raises(ValueError):
+            run_simulation(system, warmup=-1, measure=100)
+        with pytest.raises(ValueError):
+            run_simulation(system, warmup=0, measure=0)
+
+    def test_utilizations_in_unit_range(self):
+        result = run_simulation(small_system(), warmup=5_000, measure=5_000)
+        for name in ("tag", "data", "bus"):
+            assert 0.0 <= result.utilizations[name] <= 1.0
+        assert len(result.bank_utilizations) == 2
+
+    def test_derived_fractions(self):
+        result = run_simulation(small_system(), warmup=20_000, measure=10_000)
+        assert 0.0 <= result.write_fraction <= 1.0
+        assert 0.0 <= result.gathering_rate <= 1.0
+        assert 0.0 <= result.l2_miss_rate <= 1.0
+
+    def test_counters_are_interval_deltas(self):
+        system = small_system()
+        first = run_simulation(system, warmup=5_000, measure=5_000)
+        # Running again continues from the same system state.
+        second_reads = first.l2_reads
+        assert second_reads >= 0
+
+
+class TestTargetIPC:
+    def test_full_allocation_target_matches_solo_run(self):
+        config = baseline_config(n_threads=2)
+        target = target_ipc(config, loads_trace(0), phi=1.0, beta=1.0,
+                            warmup=20_000, measure=10_000)
+        assert target > 0.2   # the Loads benchmark saturates two banks
+
+    def test_smaller_share_lower_target(self):
+        config = baseline_config(n_threads=2)
+        high = target_ipc(config, loads_trace(0), 1.0, 1.0,
+                          warmup=20_000, measure=10_000)
+        low = target_ipc(config, loads_trace(0), 0.25, 0.25,
+                         warmup=20_000, measure=10_000)
+        assert low < high
+
+
+class TestQoSHelpers:
+    def test_qos_outcomes_shape(self):
+        result = run_simulation(small_system(), warmup=5_000, measure=5_000)
+        outcomes = qos_outcomes(result, targets=[0.1, 0.1])
+        assert [o.thread_id for o in outcomes] == [0, 1]
+
+    def test_qos_outcomes_length_check(self):
+        result = run_simulation(small_system(), warmup=5_000, measure=5_000)
+        with pytest.raises(ValueError):
+            qos_outcomes(result, targets=[0.1])
+
+    def test_workload_summary(self):
+        outcomes = [QoSOutcome(0, 1.0, 1.0), QoSOutcome(1, 0.8, 1.0)]
+        summary = workload_summary(outcomes)
+        assert summary["min_normalized"] == pytest.approx(0.8)
+        assert summary["harmonic_mean"] == pytest.approx(8 / 9)

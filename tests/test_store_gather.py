@@ -1,0 +1,116 @@
+"""Unit tests for the store gathering buffer (paper Section 3.1)."""
+
+import pytest
+
+from repro.cache.store_gather import StoreGatherBuffer
+from repro.common.records import AccessType, make_request
+
+
+def store(line, thread=0):
+    return make_request(thread, line * 64, AccessType.WRITE, 64)
+
+
+def load(line, thread=0):
+    return make_request(thread, line * 64, AccessType.READ, 64)
+
+
+class TestGathering:
+    def test_same_line_stores_merge(self):
+        sgb = StoreGatherBuffer()
+        assert sgb.try_add_store(store(1)) == "allocated"
+        assert sgb.try_add_store(store(1)) == "merged"
+        assert sgb.occupancy == 1
+        assert sgb.gathering_rate() == pytest.approx(0.5)
+
+    def test_distinct_lines_allocate(self):
+        sgb = StoreGatherBuffer()
+        for line in range(5):
+            assert sgb.try_add_store(store(line)) == "allocated"
+        assert sgb.occupancy == 5
+        assert sgb.gathering_rate() == 0.0
+
+    def test_full_buffer_backpressure(self):
+        sgb = StoreGatherBuffer(entries=2, high_water=2)
+        sgb.try_add_store(store(1))
+        sgb.try_add_store(store(2))
+        assert sgb.try_add_store(store(3)) == "full"
+        assert sgb.try_add_store(store(1)) == "merged"  # merging still works
+
+    def test_merge_count_recorded_on_request(self):
+        sgb = StoreGatherBuffer()
+        first = store(7)
+        sgb.try_add_store(first)
+        sgb.try_add_store(store(7))
+        sgb.try_add_store(store(7))
+        assert first.gathered_stores == 2
+
+    def test_loads_rejected(self):
+        with pytest.raises(ValueError):
+            StoreGatherBuffer().try_add_store(load(1))
+
+
+class TestRetireAtN:
+    def test_no_retirement_below_high_water(self):
+        sgb = StoreGatherBuffer(entries=8, high_water=6)
+        for line in range(5):
+            sgb.try_add_store(store(line))
+        assert not sgb.wants_retire()
+
+    def test_retirement_at_high_water(self):
+        sgb = StoreGatherBuffer(entries=8, high_water=6)
+        for line in range(6):
+            sgb.try_add_store(store(line))
+        assert sgb.wants_retire()
+        assert sgb.peek_retire().line == 0   # oldest first
+        assert sgb.pop_retire().line == 0
+        assert not sgb.wants_retire()        # back below the mark
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(RuntimeError):
+            StoreGatherBuffer().pop_retire()
+
+
+class TestReadOverWrite:
+    def test_load_bypasses_unrelated_stores(self):
+        sgb = StoreGatherBuffer()
+        sgb.try_add_store(store(1))
+        assert sgb.load_may_bypass(2)
+
+    def test_load_blocked_by_same_line_store(self):
+        sgb = StoreGatherBuffer()
+        sgb.try_add_store(store(1))
+        assert not sgb.load_may_bypass(1)
+
+    def test_row_inversion_at_high_water(self):
+        sgb = StoreGatherBuffer(entries=8, high_water=3)
+        for line in range(3):
+            sgb.try_add_store(store(line))
+        assert not sgb.load_may_bypass(99)   # occupancy >= high water
+        sgb.pop_retire()
+        assert sgb.load_may_bypass(99)
+
+
+class TestPartialFlush:
+    def test_flush_marks_conflicting_and_older(self):
+        sgb = StoreGatherBuffer()
+        for line in (1, 2, 3):
+            sgb.try_add_store(store(line))
+        assert sgb.request_flush(2)
+        assert sgb.wants_retire()            # flush forces retirement
+        assert sgb.pop_retire().line == 1    # older than the conflict
+        assert sgb.pop_retire().line == 2    # the conflicting store
+        assert not sgb.wants_retire()        # line 3 is younger: stays
+
+    def test_flush_without_conflict(self):
+        sgb = StoreGatherBuffer()
+        sgb.try_add_store(store(1))
+        assert not sgb.request_flush(9)
+        assert not sgb.wants_retire()
+
+
+class TestConstruction:
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            StoreGatherBuffer(entries=0)
+        with pytest.raises(ValueError):
+            StoreGatherBuffer(entries=4, high_water=5)

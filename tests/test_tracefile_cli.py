@@ -1,0 +1,127 @@
+"""Tests for trace-file I/O and the top-level simulation CLI."""
+
+import itertools
+
+import pytest
+
+from repro.cli import main, parse_shares, resolve_workload
+from repro.cpu.isa import load, nonmem, store
+from repro.workloads.microbench import loads_trace
+from repro.workloads.tracefile import (
+    format_item,
+    parse_line,
+    read_trace,
+    save_trace,
+    trace_from_file,
+)
+
+
+class TestFormatParse:
+    def test_roundtrip_each_kind(self):
+        for item in (nonmem(7), load(0x1000), load(64, True), store(0x40)):
+            assert parse_line(format_item(item)) == item
+
+    def test_hex_and_decimal_addresses(self):
+        assert parse_line("L 0x40") == load(64)
+        assert parse_line("l 64") == load(64)
+
+    def test_dependent_flag(self):
+        assert parse_line("L 0x40 D") == load(64, True)
+        with pytest.raises(ValueError):
+            parse_line("L 0x40 X")
+
+    def test_junk_rejected_with_line_number(self):
+        with pytest.raises(ValueError, match="line 9"):
+            parse_line("Q 12", lineno=9)
+        with pytest.raises(ValueError):
+            parse_line("N", lineno=1)
+
+
+class TestFileRoundtrip:
+    def test_save_and_read(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        items = [nonmem(3), load(0x1000), store(0x2000), load(0x3000, True)]
+        assert save_trace(items, path) == 4
+        assert read_trace(path) == items
+
+    def test_save_infinite_with_limit(self, tmp_path):
+        path = tmp_path / "loads.txt"
+        written = save_trace(loads_trace(0), path, limit=100)
+        assert written == 100
+        assert len(read_trace(path)) == 100
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\nN 5  # five ops\nL 0x40\n")
+        assert read_trace(path) == [nonmem(5), load(64)]
+
+    def test_loop_replay(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace([nonmem(1), load(64)], path)
+        replayed = list(itertools.islice(trace_from_file(path, loop=True), 6))
+        assert replayed == [nonmem(1), load(64)] * 3
+
+    def test_single_pass_replay(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace([nonmem(1)], path)
+        assert list(trace_from_file(path, loop=False)) == [nonmem(1)]
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            list(trace_from_file(path))
+
+    def test_negative_limit_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace([], tmp_path / "x.txt", limit=-1)
+
+
+class TestCLIHelpers:
+    def test_resolve_microbench_and_spec(self):
+        assert next(iter(resolve_workload("loads", 0)))
+        assert next(iter(resolve_workload("art", 1)))
+
+    def test_resolve_trace_file(self, tmp_path):
+        path = tmp_path / "t.txt"
+        save_trace([nonmem(1), load(64)], path)
+        trace = resolve_workload(f"trace:{path}", 0)
+        assert next(iter(trace)) == nonmem(1)
+
+    def test_resolve_unknown(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            resolve_workload("doom", 0)
+
+    def test_parse_shares(self):
+        assert parse_shares(None, 2) == [0.5, 0.5]
+        assert parse_shares("0.75,0.25", 2) == [0.75, 0.25]
+        with pytest.raises(ValueError):
+            parse_shares("0.5", 2)
+
+
+class TestCLIEndToEnd:
+    def test_two_thread_run(self, capsys):
+        exit_code = main([
+            "loads", "stores", "--arbiter", "vpc", "--shares", "0.75,0.25",
+            "--warmup", "6000", "--cycles", "3000",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "t0 loads" in out and "t1 stores" in out
+        assert "L2 utilization" in out
+
+    def test_trace_file_workload(self, capsys, tmp_path):
+        path = tmp_path / "t.txt"
+        save_trace(loads_trace(0), path, limit=2000)
+        exit_code = main([
+            f"trace:{path}", "--arbiter", "row-fcfs",
+            "--warmup", "2000", "--cycles", "2000",
+        ])
+        assert exit_code == 0
+        assert "trace:" in capsys.readouterr().out
+
+    def test_prefetch_flag(self, capsys):
+        exit_code = main([
+            "mcf", "--prefetch", "--warmup", "3000", "--cycles", "2000",
+        ])
+        assert exit_code == 0

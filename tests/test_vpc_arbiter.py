@@ -1,0 +1,185 @@
+"""Unit tests for the VPC arbiter (paper Section 4.1, Eqs. 3-6)."""
+
+import math
+
+import pytest
+
+from repro.core.arbiter import ArbiterEntry
+from repro.core.vpc_arbiter import VPCArbiter
+
+
+def entry(thread_id, name="x", is_write=False, quanta=1):
+    return ArbiterEntry(
+        thread_id=thread_id, payload=name, is_write=is_write,
+        service_quanta=quanta,
+    )
+
+
+class TestConstruction:
+    def test_share_count_mismatch(self):
+        with pytest.raises(ValueError):
+            VPCArbiter(2, [0.5], 8)
+
+    def test_overallocation_rejected(self):
+        with pytest.raises(ValueError):
+            VPCArbiter(2, [0.7, 0.7], 8)
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ValueError):
+            VPCArbiter(2, [-0.1, 0.5], 8)
+
+    def test_bad_latency_rejected(self):
+        with pytest.raises(ValueError):
+            VPCArbiter(1, [1.0], 0)
+
+
+class TestVirtualTimeMechanics:
+    def test_eq4_eq5_chained_finish_times(self):
+        """Back-to-back grants advance R.S by L/phi each time."""
+        arb = VPCArbiter(1, [0.5], 8)   # R.L = 16
+        arb.enqueue(entry(0, "a"), 0)
+        arb.enqueue(entry(0, "b"), 0)
+        assert arb.virtual_finish_preview(0) == 16.0
+        arb.select(0)
+        assert arb.virtual_finish_preview(0) == 32.0
+
+    def test_eq6_idle_thread_resets_to_clock(self):
+        """An idle period earns no virtual-time credit."""
+        arb = VPCArbiter(1, [0.5], 8)
+        arb.enqueue(entry(0), 0)
+        arb.select(0)                      # R.S = 16
+        arb.enqueue(entry(0), 100)         # empty queue, R.S(16) <= 100
+        assert arb.virtual_finish_preview(0) == 116.0
+
+    def test_eq6_no_reset_when_ahead_of_clock(self):
+        """A thread that consumed service ahead of real time keeps its
+        later R.S (it is penalized for its burst — Section 4.1.3)."""
+        arb = VPCArbiter(1, [0.25], 8)     # R.L = 32
+        arb.enqueue(entry(0), 0)
+        arb.select(0)                      # R.S = 32
+        arb.enqueue(entry(0), 10)          # R.S(32) > 10: keep 32
+        assert arb.virtual_finish_preview(0) == 64.0
+
+    def test_writes_cost_double_quanta(self):
+        """Eq. 4: F = S + 2*R.L for data-array writes."""
+        arb = VPCArbiter(1, [0.5], 8)
+        arb.enqueue(entry(0, is_write=True, quanta=2), 0)
+        assert arb.virtual_finish_preview(0) == 32.0
+
+
+class TestEDFSelection:
+    def test_earliest_virtual_finish_wins(self):
+        arb = VPCArbiter(2, [0.75, 0.25], 8)  # R.L = 10.67 vs 32
+        arb.enqueue(entry(0, "fast"), 0)
+        arb.enqueue(entry(1, "slow"), 0)
+        assert arb.select(0).payload == "fast"
+
+    def test_proportional_service_when_saturated(self):
+        arb = VPCArbiter(2, [0.75, 0.25], 8)
+        for _ in range(40):
+            arb.enqueue(entry(0, "a"), 0)
+            arb.enqueue(entry(1, "b"), 0)
+        served = [0, 0]
+        for _ in range(40):
+            served[arb.select(0).thread_id] += 1
+        assert served[0] == pytest.approx(30, abs=1)
+        assert served[1] == pytest.approx(10, abs=1)
+
+    def test_work_conservation(self):
+        """The only backlogged thread gets service regardless of share."""
+        arb = VPCArbiter(2, [0.9, 0.1], 8)
+        arb.enqueue(entry(1, "only"), 0)
+        assert arb.select(0).payload == "only"
+
+    def test_zero_share_thread_loses_to_any_finite_thread(self):
+        arb = VPCArbiter(2, [1.0, 0.0], 8)
+        arb.enqueue(entry(1, "starved"), 0)
+        arb.enqueue(entry(0, "allocated"), 5)
+        assert arb.select(5).payload == "allocated"
+
+    def test_zero_share_thread_served_when_alone(self):
+        arb = VPCArbiter(2, [1.0, 0.0], 8)
+        arb.enqueue(entry(1, "excess"), 0)
+        assert arb.select(0).payload == "excess"
+
+    def test_two_zero_share_threads_fcfs(self):
+        arb = VPCArbiter(3, [1.0, 0.0, 0.0], 8)
+        arb.enqueue(entry(1, "first"), 0)
+        arb.enqueue(entry(2, "second"), 1)
+        assert arb.select(2).payload == "first"
+        assert arb.select(2).payload == "second"
+
+
+class TestIntraThreadReordering:
+    def test_reads_bypass_writes_within_thread(self):
+        arb = VPCArbiter(1, [1.0], 8)
+        arb.enqueue(entry(0, "w", is_write=True), 0)
+        arb.enqueue(entry(0, "r"), 0)
+        assert arb.select(0).payload == "r"
+        assert arb.select(0).payload == "w"
+
+    def test_reordering_disabled_is_fifo(self):
+        arb = VPCArbiter(1, [1.0], 8, intra_thread_row=False)
+        arb.enqueue(entry(0, "w", is_write=True), 0)
+        arb.enqueue(entry(0, "r"), 0)
+        assert arb.select(0).payload == "w"
+
+    def test_reordering_does_not_change_service_accounting(self):
+        """Section 4.1.1: reordering inside a thread's buffer must not
+        shift *service cycles* between threads (grant counts may differ —
+        reads are cheaper than writes)."""
+
+        def run(intra_thread_row):
+            arb = VPCArbiter(2, [0.5, 0.5], 8, intra_thread_row=intra_thread_row)
+            for i in range(20):
+                arb.enqueue(entry(0, f"w{i}", is_write=True, quanta=2), 0)
+                arb.enqueue(entry(0, f"r{i}"), 0)
+                arb.enqueue(entry(1, f"x{i}"), 0)
+            busy_until = 0
+            for now in range(600):
+                if now >= busy_until and len(arb):
+                    granted = arb.select(now)
+                    busy_until = now + 8 * granted.service_quanta
+            return arb.service_granted
+
+        row_service = run(True)
+        fifo_service = run(False)
+        for got, expected in zip(row_service, fifo_service):
+            assert abs(got - expected) <= 16  # within one write service
+
+
+class TestShareReconfiguration:
+    def test_set_share_changes_rl(self):
+        arb = VPCArbiter(2, [0.5, 0.5], 8)
+        arb.set_share(0, 0.25)
+        arb.enqueue(entry(0), 0)
+        assert arb.virtual_finish_preview(0) == 32.0
+
+    def test_set_share_overallocation_rejected(self):
+        arb = VPCArbiter(2, [0.5, 0.5], 8)
+        with pytest.raises(ValueError):
+            arb.set_share(0, 0.6)
+
+    def test_shares_property(self):
+        arb = VPCArbiter(2, [0.5, 0.25], 8)
+        assert arb.shares == [0.5, 0.25]
+
+
+class TestInstrumentation:
+    def test_service_granted_tracks_real_cycles(self):
+        arb = VPCArbiter(1, [1.0], 8)
+        arb.enqueue(entry(0, quanta=2, is_write=True), 0)
+        arb.enqueue(entry(0), 0)
+        arb.select(0)
+        arb.select(0)
+        assert arb.service_granted[0] == 24  # 8 (read) + 16 (write)
+
+    def test_pending_for(self):
+        arb = VPCArbiter(2, [0.5, 0.5], 8)
+        arb.enqueue(entry(0), 0)
+        assert arb.pending_for(0) == 1
+        assert arb.pending_for(1) == 0
+
+    def test_empty_preview_is_infinite(self):
+        arb = VPCArbiter(1, [1.0], 8)
+        assert math.isinf(arb.virtual_finish_preview(0))

@@ -1,0 +1,129 @@
+"""Property-based tests for the VPC arbiter's bandwidth guarantee.
+
+These drive the arbiter the way the cache bank does (cycle-stepped,
+non-preemptible resource, occupancy = latency * quanta) on random
+traffic and check the paper's core claims:
+
+* a continuously backlogged thread receives at least its share of the
+  resource, minus one maximum service time (the preemption penalty);
+* the resource never idles while work is queued (work conservation);
+* intra-thread RoW reordering never changes inter-thread service totals.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arbiter import ArbiterEntry
+from repro.core.vpc_arbiter import VPCArbiter
+
+LATENCY = 8
+
+
+def simulate(arbiter, traffic, horizon):
+    """Cycle-stepped service of `traffic` = {cycle: [(tid, is_write)]}.
+
+    Returns per-thread service cycles granted within `horizon`.
+    """
+    service = [0] * arbiter.n_threads
+    busy_until = 0
+    for now in range(horizon):
+        for tid, is_write in traffic.get(now, ()):
+            arbiter.enqueue(
+                ArbiterEntry(
+                    thread_id=tid, payload=None, is_write=is_write,
+                    service_quanta=2 if is_write else 1,
+                ),
+                now,
+            )
+        if now >= busy_until and len(arbiter):
+            granted = arbiter.select(now)
+            duration = LATENCY * granted.service_quanta
+            busy_until = now + duration
+            service[granted.thread_id] += duration
+    return service
+
+
+@st.composite
+def backlogged_scenarios(draw):
+    """Thread 0 is permanently backlogged; others send random traffic."""
+    n_threads = draw(st.integers(min_value=2, max_value=4))
+    share0 = draw(st.sampled_from([0.25, 0.4, 0.5, 0.75]))
+    rest = (1.0 - share0) / (n_threads - 1)
+    shares = [share0] + [rest] * (n_threads - 1)
+    horizon = draw(st.integers(min_value=400, max_value=1200))
+    traffic = {0: [(0, False)] * 64}
+    # Keep thread 0 backlogged: top it up continuously.
+    for cycle in range(0, horizon, LATENCY):
+        traffic.setdefault(cycle, []).append((0, False))
+    n_others = draw(st.integers(min_value=0, max_value=120))
+    for _ in range(n_others):
+        cycle = draw(st.integers(min_value=0, max_value=horizon - 1))
+        tid = draw(st.integers(min_value=1, max_value=n_threads - 1))
+        is_write = draw(st.booleans())
+        traffic.setdefault(cycle, []).append((tid, is_write))
+    return shares, traffic, horizon
+
+
+@settings(max_examples=40, deadline=None)
+@given(backlogged_scenarios())
+def test_backlogged_thread_gets_its_share(scenario):
+    """Minimum-bandwidth guarantee with the non-preemption penalty.
+
+    Worst-case slack: one maximum service time (a write, 2*L) at the
+    start of the interval plus the partial service at the end.
+    """
+    shares, traffic, horizon = scenario
+    arbiter = VPCArbiter(len(shares), shares, LATENCY)
+    service = simulate(arbiter, traffic, horizon)
+    max_service = 2 * LATENCY
+    guaranteed = shares[0] * horizon - 2 * max_service
+    assert service[0] >= guaranteed, (service, shares, horizon)
+
+
+@settings(max_examples=40, deadline=None)
+@given(backlogged_scenarios())
+def test_work_conservation_under_backlog(scenario):
+    """Thread 0 never drains, so the resource must never idle."""
+    shares, traffic, horizon = scenario
+    arbiter = VPCArbiter(len(shares), shares, LATENCY)
+    service = simulate(arbiter, traffic, horizon)
+    # Total granted service covers the horizon minus at most one
+    # in-flight service window.
+    assert sum(service) >= horizon - 2 * LATENCY
+
+
+@settings(max_examples=30, deadline=None)
+@given(backlogged_scenarios())
+def test_row_reordering_preserves_inter_thread_totals(scenario):
+    """Section 4.1.1: intra-thread reordering must not shift bandwidth
+    between threads."""
+    shares, traffic, horizon = scenario
+    with_row = simulate(
+        VPCArbiter(len(shares), shares, LATENCY, intra_thread_row=True),
+        traffic, horizon,
+    )
+    without_row = simulate(
+        VPCArbiter(len(shares), shares, LATENCY, intra_thread_row=False),
+        traffic, horizon,
+    )
+    for got, expected in zip(with_row, without_row):
+        assert abs(got - expected) <= 2 * LATENCY
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.sampled_from([0.25, 0.5]), min_size=2, max_size=4),
+    st.integers(min_value=500, max_value=1500),
+)
+def test_saturated_threads_split_proportionally(raw_shares, horizon):
+    """All threads saturated -> service proportional to shares."""
+    total = sum(raw_shares)
+    shares = [s / total for s in raw_shares]
+    traffic = {}
+    for cycle in range(0, horizon, LATENCY):
+        traffic[cycle] = [(tid, False) for tid in range(len(shares))]
+    arbiter = VPCArbiter(len(shares), shares, LATENCY)
+    service = simulate(arbiter, traffic, horizon)
+    for tid, share in enumerate(shares):
+        expected = share * sum(service)
+        assert abs(service[tid] - expected) <= 3 * LATENCY, (service, shares)
