@@ -4,3 +4,14 @@ Each benchmark regenerates one paper artifact (fast-fidelity variant)
 under pytest-benchmark timing and prints the regenerated rows, so
 ``pytest benchmarks/ --benchmark-only -s`` doubles as a results report.
 """
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep benchmark timings honest: no cross-run result-cache hits, and
+    no pollution of the user's ``~/.cache/repro-vpc``."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

@@ -9,13 +9,42 @@ from repro.workloads import loads_trace, stores_trace
 
 
 def test_bench_simulation_cycles_per_second(benchmark):
-    """Full 2-thread CMP: processor cycles simulated per wall second."""
+    """Full 2-thread CMP: processor cycles simulated per wall second
+    (default skip-ahead event kernel)."""
     config = baseline_config(n_threads=2, arbiter="vpc",
                              vpc=VPCAllocation.equal(2))
     system = CMPSystem(config, [loads_trace(0), stores_trace(1)])
     system.run(5_000)  # warm the structures out of the timing loop
     cycles = 10_000
     benchmark.pedantic(system.run, args=(cycles,), iterations=1, rounds=3)
+
+
+def test_bench_simulation_cycle_kernel(benchmark):
+    """The same system under the reference cycle-by-cycle kernel — the
+    baseline the event kernel's speedup is measured against."""
+    config = baseline_config(n_threads=2, arbiter="vpc",
+                             vpc=VPCAllocation.equal(2))
+    system = CMPSystem(config, [loads_trace(0), stores_trace(1)],
+                       kernel="cycle")
+    system.run(5_000)
+    cycles = 10_000
+    benchmark.pedantic(system.run, args=(cycles,), iterations=1, rounds=3)
+
+
+def test_bench_experiment_point_pipeline(benchmark):
+    """End-to-end experiment wall-clock through the point runner: one
+    fast-mode fig8 regeneration (shared runs + private targets), result
+    cache pinned off so the timing is pure simulation + dispatch."""
+    from repro.experiments import parallel, run_experiment
+
+    parallel.configure(jobs=1, cache=False)
+    try:
+        benchmark.pedantic(
+            run_experiment, args=("fig8",), kwargs={"fast": True},
+            iterations=1, rounds=1,
+        )
+    finally:
+        parallel.configure(jobs=1, cache=True)
 
 
 def test_bench_vpc_arbiter_decision_rate(benchmark):

@@ -23,7 +23,7 @@ from typing import Callable, Deque, Optional, Tuple
 
 from repro.cache.cache_array import CacheArray
 from repro.cache.replacement import ReplacementPolicy
-from repro.common.latch import VariableDelayQueue
+from repro.common.latch import NEVER, VariableDelayQueue
 from repro.common.stats import Counters, UtilizationMeter
 from repro.core.arbiter import Arbiter, ArbiterEntry
 
@@ -192,6 +192,23 @@ class SharedL3:
             len(self._events) or len(self.arbiter) or self._mem_wait
             or self._wb_wait or any(self._pending_count)
         )
+
+    def next_event(self, now: int) -> int:
+        """Earliest cycle >= ``now`` at which ``tick`` could change state.
+
+        Exact for the skipped cycles: the port arbiter's ``select`` is
+        only invoked while the port meter is free, so jumping to
+        ``busy_until`` drops no arbitration decisions.
+        """
+        if self._mem_wait or self._wb_wait:
+            return now  # retried against the memory interface every cycle
+        nxt = NEVER
+        head = self._events.next_ready_cycle()
+        if head >= 0:
+            nxt = max(now, head)
+        if len(self.arbiter):
+            nxt = min(nxt, max(now, self.port.busy_until))
+        return nxt
 
     def utilization(self, cycles: int, since_busy: int = 0) -> float:
         return self.port.utilization(cycles, since_busy)

@@ -44,6 +44,10 @@ class StoreGatherBuffer:
         self.capacity = entries
         self.high_water = high_water
         self._entries: List[_GatherEntry] = []   # age order, oldest first
+        # Merging keeps at most one entry per line, so a line index gives
+        # O(1) merge/dependence lookups (these sit on per-cycle paths).
+        self._by_line: dict = {}
+        self._flush_count = 0  # entries currently marked must_flush
         # Instrumentation (Figure 7).
         self.stores_received = 0
         self.stores_merged = 0
@@ -57,15 +61,17 @@ class StoreGatherBuffer:
         """Insert a store.  Returns "merged", "allocated", or "full"."""
         if request.access is not AccessType.WRITE:
             raise ValueError("store gathering buffer only accepts writes")
-        for entry in self._entries:
-            if entry.line == request.line:
-                entry.request.gathered_stores += 1
-                self.stores_received += 1
-                self.stores_merged += 1
-                return "merged"
+        entry = self._by_line.get(request.line)
+        if entry is not None:
+            entry.request.gathered_stores += 1
+            self.stores_received += 1
+            self.stores_merged += 1
+            return "merged"
         if len(self._entries) >= self.capacity:
             return "full"
-        self._entries.append(_GatherEntry(line=request.line, request=request))
+        entry = _GatherEntry(line=request.line, request=request)
+        self._entries.append(entry)
+        self._by_line[request.line] = entry
         self.stores_received += 1
         return "allocated"
 
@@ -74,7 +80,7 @@ class StoreGatherBuffer:
     # ------------------------------------------------------------------ #
 
     def has_line(self, line: int) -> bool:
-        return any(entry.line == line for entry in self._entries)
+        return line in self._by_line
 
     def load_may_bypass(self, line: int) -> bool:
         """True when a load to ``line`` may be issued ahead of the stores:
@@ -90,7 +96,9 @@ class StoreGatherBuffer:
         for index, entry in enumerate(self._entries):
             if entry.line == line:
                 for older in self._entries[: index + 1]:
-                    older.must_flush = True
+                    if not older.must_flush:
+                        older.must_flush = True
+                        self._flush_count += 1
                 return True
         return False
 
@@ -103,12 +111,12 @@ class StoreGatherBuffer:
         return len(self._entries)
 
     def flush_pending(self) -> bool:
-        return any(entry.must_flush for entry in self._entries)
+        return self._flush_count > 0
 
     def wants_retire(self) -> bool:
         """Retire-at-n: drain while at/over the high-water mark, and
         always drain entries tagged by a partial flush."""
-        return len(self._entries) >= self.high_water or self.flush_pending()
+        return len(self._entries) >= self.high_water or self._flush_count > 0
 
     def peek_retire(self) -> Optional[MemoryRequest]:
         """The write request retirement would send next (oldest entry)."""
@@ -120,6 +128,9 @@ class StoreGatherBuffer:
         if not self._entries:
             raise RuntimeError("pop_retire on an empty buffer")
         entry = self._entries.pop(0)
+        del self._by_line[entry.line]
+        if entry.must_flush:
+            self._flush_count -= 1
         self.stores_retired += 1
         return entry.request
 

@@ -15,6 +15,11 @@ from typing import Deque, Generic, Iterator, List, Tuple, TypeVar
 
 T = TypeVar("T")
 
+# Sentinel returned by ``next_event`` / ``next_ready_cycle`` style probes
+# when a component has no internally scheduled work: any real cycle
+# number compares smaller, so callers can min-combine without branching.
+NEVER = 1 << 62
+
 
 class DelayLine(Generic[T]):
     """FIFO with a constant transit delay (a pipelined wire)."""
@@ -35,6 +40,10 @@ class DelayLine(Generic[T]):
 
     def peek_ready(self, now: int) -> bool:
         return bool(self._items) and self._items[0][0] <= now
+
+    def next_ready_cycle(self) -> int:
+        """Delivery cycle of the head item; ``NEVER`` when empty."""
+        return self._items[0][0] if self._items else NEVER
 
     def __len__(self) -> int:
         return len(self._items)

@@ -84,6 +84,7 @@ class VPCArbiter(Arbiter):
         # R.S[i]: virtual availability time of thread i's virtual resource.
         self._r_s: List[float] = [0.0] * n_threads
         self._buffers: List[Deque[ArbiterEntry]] = [deque() for _ in range(n_threads)]
+        self._size = 0  # incremental total; len() sits on the bank hot path
         # Instrumentation: real service cycles granted per thread.
         self.service_granted: List[int] = [0] * n_threads
 
@@ -125,6 +126,7 @@ class VPCArbiter(Arbiter):
         if not self._buffers[tid] and self._r_s[tid] <= now:
             self._r_s[tid] = float(now)  # Eq. 6
         self._buffers[tid].append(entry)
+        self._size += 1
 
     def select(self, now: int) -> Optional[ArbiterEntry]:
         best_tid = -1
@@ -152,6 +154,7 @@ class VPCArbiter(Arbiter):
             return None
 
         self._buffers[best_tid].remove(best_entry)
+        self._size -= 1
         if best_finish != math.inf:
             self._r_s[best_tid] = best_finish  # Eq. 5
         self.service_granted[best_tid] += (
@@ -181,7 +184,7 @@ class VPCArbiter(Arbiter):
         return prefetch_read if prefetch_read is not None else buffer[0]
 
     def __len__(self) -> int:
-        return sum(len(buffer) for buffer in self._buffers)
+        return self._size
 
     def pending_for(self, thread_id: int) -> int:
         return len(self._buffers[thread_id])

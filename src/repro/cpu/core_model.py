@@ -59,6 +59,10 @@ class CoreModel:
         self._nonmem_left = 0
         self.done = False
         self.stall_cycles = 0
+        # Memoized quiescent() verdict.  A True verdict is sticky: every
+        # quiescent state can only be left via on_response (which clears
+        # this), so repeated per-cycle checks cost one attribute read.
+        self._quiet = False
         # Prefetch statistics (prefetching is off unless configured).
         self.prefetches_issued = 0
         self.prefetches_useful = 0
@@ -187,10 +191,86 @@ class CoreModel:
         self._outstanding_loads.add(seq)
 
     # ------------------------------------------------------------------ #
+    # Skip-ahead support (event kernel).
+    #
+    # ``quiescent`` answers: would ``tick`` leave every piece of state
+    # untouched except ``cycles``/``stall_cycles`` and — in the
+    # MSHR-blocked probing state — the L1 miss counters bumped by the
+    # per-cycle retry probe?  Only ``on_response`` can change the answer,
+    # so between now and the next crossbar delivery the core may be
+    # fast-forwarded with ``fast_forward``.  The predicate must be exact:
+    # a false positive would diverge from the cycle-by-cycle kernel.
+    # ------------------------------------------------------------------ #
+
+    def _blocked_probing(self) -> bool:
+        """True when the stalled state re-probes the L1 every cycle
+        (stashed load, not dependence-blocked, missing with full MSHRs)."""
+        if self._nonmem_left:
+            return False
+        item = self._current
+        if item is None or item[0] != LOAD:
+            return False
+        if item[2] and self._outstanding_loads:
+            return False  # dependence stall: no L1 probe happens
+        return True
+
+    def quiescent(self) -> bool:
+        if self._quiet:
+            return True
+        verdict = self._quiescent_now()
+        if verdict:
+            self._quiet = True
+        return verdict
+
+    def _quiescent_now(self) -> bool:
+        if self.done:
+            return True
+        if self._nonmem_left:
+            # Dispatch of buffered non-memory work stalls only on the
+            # window; any headroom would dispatch instructions.
+            return self._window_headroom() <= 0
+        item = self._current
+        if item is None:
+            # Next tick pulls from the trace — never skippable (the pull
+            # itself is a state change, and under a window stall the
+            # pulled item is consumed).
+            return False
+        if self._window_headroom() <= 0:
+            # Window-stall with a stashed item: the tick would *drop*
+            # the stash (see ``tick``: the headroom check precedes
+            # re-stashing).  That is a state change; do not skip.
+            return False
+        kind = item[0]
+        if kind == LOAD:
+            if item[2] and self._outstanding_loads:
+                return True  # dependence stall, broken only by a response
+            line = item[1] // self._line_size
+            # The retry probe would hit (dispatch) or find MSHR room.
+            if self.l1.array.contains(line):
+                return False
+            return not self.mshrs.can_allocate(line)
+        if kind == STORE:
+            return self._outstanding_stores >= self.config.store_queue
+        return False
+
+    def fast_forward(self, delta: int, now: int) -> None:
+        """Account ``delta`` skipped ticks of a quiescent core exactly."""
+        self.cycles += delta
+        if self.done:
+            return
+        self.stall_cycles += delta
+        if self._blocked_probing():
+            # Each skipped tick would have retried ``l1.load`` and missed
+            # (``lookup`` on a miss touches only the miss counters).
+            self.l1.load_misses += delta
+            self.l1.array.misses += delta
+
+    # ------------------------------------------------------------------ #
     # Response side (wired to the crossbar's response lane).
     # ------------------------------------------------------------------ #
 
     def on_response(self, request: MemoryRequest, now: int) -> None:
+        self._quiet = False  # a response can wake any quiescent state
         if request.access is AccessType.WRITE:
             # Store-gathering-buffer acknowledgement: credit returned.
             if self._outstanding_stores <= 0:

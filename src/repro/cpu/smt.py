@@ -101,6 +101,10 @@ class SMTCoreModel:
         # and the reason real SMT designs partition miss resources.
         self._mshr_quota = max(1, l1_config.mshrs // len(thread_ids))
         self._mshr_in_use = {tid: 0 for tid in thread_ids}
+        # Memoized quiescent() verdict.  While every context is blocked
+        # no tick dispatches anything, so the aggregate verdict can only
+        # flip back via on_response (which clears this).
+        self._quiet = False
 
     # ------------------------------------------------------------------ #
     # Execution.
@@ -203,10 +207,76 @@ class SMTCoreModel:
         return seq * 64 + self.thread_ids.index(ctx.thread_id)
 
     # ------------------------------------------------------------------ #
+    # Skip-ahead support (event kernel).
+    # ------------------------------------------------------------------ #
+
+    def _ctx_blocked(self, ctx: _ThreadContext) -> bool:
+        """Would ``_dispatch_from(ctx)`` provably dispatch nothing and
+        leave all state unchanged (modulo the L1 retry-probe counters)?"""
+        if ctx.done:
+            return True
+        window = self.config.window_size
+        if ctx.nonmem_left:
+            return ctx.window_headroom(window) <= 0
+        item = ctx.stashed
+        if item is None:
+            return False  # would pull from the trace: a state change
+        if ctx.window_headroom(window) <= 0:
+            return True  # clean re-stash (unlike CoreModel, nothing drops)
+        kind = item[0]
+        if kind == LOAD:
+            if item[2] and ctx.outstanding_loads:
+                return True  # dependence stall
+            line = item[1] // self._line_size
+            if self.l1.array.contains(line):
+                return False  # retry would hit and dispatch
+            if line in self.mshrs:
+                return False  # retry would coalesce as a secondary miss
+            return (
+                not self.mshrs.can_allocate(line)
+                or self._mshr_in_use[ctx.thread_id] >= self._mshr_quota
+            )
+        if kind == STORE:
+            return ctx.outstanding_stores >= self.config.store_queue
+        return False
+
+    def _ctx_probing(self, ctx: _ThreadContext) -> bool:
+        """A blocked context that still probes the shared L1 each tick
+        (stashed load, headroom available, not dependence-blocked)."""
+        if ctx.done or ctx.nonmem_left:
+            return False
+        item = ctx.stashed
+        if item is None or item[0] != LOAD:
+            return False
+        if ctx.window_headroom(self.config.window_size) <= 0:
+            return False  # re-stashed before the L1 probe
+        return not (item[2] and ctx.outstanding_loads)
+
+    def quiescent(self) -> bool:
+        if self._quiet:
+            return True
+        verdict = all(
+            self._ctx_blocked(ctx) for ctx in self._contexts.values()
+        )
+        if verdict:
+            self._quiet = True
+        return verdict
+
+    def fast_forward(self, delta: int, now: int) -> None:
+        """Account ``delta`` skipped ticks of a quiescent core exactly."""
+        self.cycles += delta
+        self._rotate = (self._rotate + delta) % len(self.thread_ids)
+        for ctx in self._contexts.values():
+            if self._ctx_probing(ctx):
+                self.l1.load_misses += delta
+                self.l1.array.misses += delta
+
+    # ------------------------------------------------------------------ #
     # Response side.
     # ------------------------------------------------------------------ #
 
     def on_response(self, request: MemoryRequest, now: int) -> None:
+        self._quiet = False  # a response can wake any blocked context
         ctx = self._contexts[request.thread_id]
         if request.access is AccessType.WRITE:
             if ctx.outstanding_stores <= 0:

@@ -20,24 +20,25 @@ from __future__ import annotations
 
 from repro.common.config import VPCAllocation, baseline_config, private_equivalent
 from repro.experiments.base import ExperimentResult, cycle_budget, register
+from repro.experiments.parallel import SimPoint, run_points
 from repro.system.cmp import CMPSystem
 from repro.system.simulator import run_simulation
-from repro.workloads.microbench import loads_trace, stores_trace
-from repro.workloads.profiles import spec_trace
 
 
 @register("ablation-reorder")
 def run_reorder(fast: bool = False) -> ExperimentResult:
     warmup, measure = cycle_budget(fast, warmup=45_000, measure=30_000)
+    vpc = VPCAllocation([0.5, 0.5], [0.5, 0.5])
+    config = baseline_config(n_threads=2, arbiter="vpc", vpc=vpc)
+    modes = (True, False)
+    points = [
+        SimPoint(config=config, traces=(("loads",), ("stores",)),
+                 warmup=warmup, measure=measure,
+                 intra_thread_row=intra_thread_row)
+        for intra_thread_row in modes
+    ]
     rows = []
-    for intra_thread_row in (True, False):
-        vpc = VPCAllocation([0.5, 0.5], [0.5, 0.5])
-        config = baseline_config(n_threads=2, arbiter="vpc", vpc=vpc)
-        system = CMPSystem(
-            config, [loads_trace(0), stores_trace(1)],
-            intra_thread_row=intra_thread_row,
-        )
-        result = run_simulation(system, warmup=warmup, measure=measure)
+    for intra_thread_row, result in zip(modes, run_points(points)):
         rows.append((
             "RoW-in-buffer" if intra_thread_row else "FIFO-in-buffer",
             result.ipcs[0],
@@ -63,6 +64,10 @@ def run_capacity(fast: bool = False) -> ExperimentResult:
     pipeline identical) and pits a reuse-friendly victim — whose working
     set fits its half-cache quota — against a streaming aggressor.  With the VPC Capacity Manager the victim's working set stays resident;
     with shared LRU the stream flushes it continuously.
+
+    Runs in-process (not through the parallel point runner): it inspects
+    per-thread L2 occupancy on the live system after the run, which a
+    :class:`~repro.system.simulator.SimulationResult` does not carry.
     """
     from dataclasses import replace
 
@@ -137,20 +142,27 @@ def run_preempt(fast: bool = False) -> ExperimentResult:
     equake-style high-MLP traffic in the same seat.
     """
     warmup, measure = cycle_budget(fast, warmup=35_000, measure=25_000)
-    rows = []
-    for name in ("mcf", "swim"):
-        config = baseline_config(n_threads=4)
-        private = private_equivalent(config, phi=0.75, beta=0.25)
-        target = run_simulation(
-            CMPSystem(private, [spec_trace(name, 0)]),
-            warmup=warmup, measure=measure,
-        ).ipcs[0]
+    names = ("mcf", "swim")
+    points = []
+    for name in names:
+        private = private_equivalent(baseline_config(n_threads=4),
+                                     phi=0.75, beta=0.25)
+        points.append(SimPoint(
+            config=private, traces=(("spec", name),),
+            warmup=warmup, measure=measure, cacheable=True,
+        ))
         vpc = VPCAllocation([0.75, 0.25 / 3, 0.25 / 3, 0.25 / 3], [0.25] * 4)
         shared_config = baseline_config(n_threads=4, arbiter="vpc", vpc=vpc)
-        traces = [spec_trace(name, 0)] + [stores_trace(t) for t in (1, 2, 3)]
-        result = run_simulation(
-            CMPSystem(shared_config, traces), warmup=warmup, measure=measure
-        )
+        points.append(SimPoint(
+            config=shared_config,
+            traces=(("spec", name), ("stores",), ("stores",), ("stores",)),
+            warmup=warmup, measure=measure,
+        ))
+    results = iter(run_points(points))
+    rows = []
+    for name in names:
+        target = next(results).ipcs[0]
+        result = next(results)
         rows.append((
             name, target, result.ipcs[0],
             result.ipcs[0] / target if target else 0.0,
@@ -188,23 +200,25 @@ def run_memory(fast: bool = False) -> ExperimentResult:
         run_length=1, store_run_length=1,
     ).validate()
 
-    rows = []
-    for label, memory in (
+    variants = (
         ("private", MemoryConfig()),
         ("shared-fcfs", MemoryConfig(sharing="shared", shared_scheduler="fcfs")),
         ("shared-fq", MemoryConfig(sharing="shared", shared_scheduler="fq")),
-    ):
+    )
+    points = []
+    for label, memory in variants:
         config = replace(
             baseline_config(n_threads=4, arbiter="vpc",
                             vpc=VPCAllocation.equal(4)),
             memory=memory,
         ).validate()
-        traces = [spec_trace("swim", 0)] + [
-            synthetic_trace(flood, t) for t in (1, 2, 3)
-        ]
-        result = run_simulation(
-            CMPSystem(config, traces), warmup=warmup, measure=measure
-        )
+        points.append(SimPoint(
+            config=config,
+            traces=(("spec", "swim"),) + (("synthetic", flood),) * 3,
+            warmup=warmup, measure=measure,
+        ))
+    rows = []
+    for (label, _), result in zip(variants, run_points(points)):
         rows.append((label, result.ipcs[0],
                      sum(result.ipcs[1:]) / 3.0))
     return ExperimentResult(
@@ -229,15 +243,16 @@ def run_fairness(fast: bool = False) -> ExperimentResult:
     Both must keep every thread at its guarantee.
     """
     warmup, measure = cycle_budget(fast, warmup=40_000, measure=30_000)
+    vpc = VPCAllocation([0.5, 0.5], [0.5, 0.5])
+    config = baseline_config(n_threads=2, arbiter="vpc", vpc=vpc)
+    selections = ("finish", "start")
+    points = [
+        SimPoint(config=config, traces=(("spec", "mcf"), ("stores",)),
+                 warmup=warmup, measure=measure, vpc_selection=selection)
+        for selection in selections
+    ]
     rows = []
-    for selection in ("finish", "start"):
-        vpc = VPCAllocation([0.5, 0.5], [0.5, 0.5])
-        config = baseline_config(n_threads=2, arbiter="vpc", vpc=vpc)
-        system = CMPSystem(
-            config, [spec_trace("mcf", 0), stores_trace(1)],
-            vpc_selection=selection,
-        )
-        result = run_simulation(system, warmup=warmup, measure=measure)
+    for selection, result in zip(selections, run_points(points)):
         rows.append((
             "WFQ (finish)" if selection == "finish" else "SFQ (start)",
             result.ipcs[0],

@@ -19,39 +19,36 @@ from typing import Dict, List
 from repro.common.config import VPCAllocation, baseline_config, private_equivalent
 from repro.common.stats import harmonic_mean
 from repro.experiments.base import ExperimentResult, register
-from repro.system.cmp import CMPSystem
-from repro.system.simulator import run_simulation
-from repro.workloads.profiles import HETEROGENEOUS_MIXES, spec_trace
+from repro.experiments.parallel import SimPoint, run_points
+from repro.system.simulator import SimulationResult
+from repro.workloads.profiles import HETEROGENEOUS_MIXES
 
 FAST_MIXES = ("mix3", "mix1")
 
 
-def _targets(benchmarks: List[str], warmup: int, measure: int,
-             cache: Dict[str, float]) -> List[float]:
-    config = baseline_config(n_threads=4)
-    targets = []
-    for name in benchmarks:
-        if name not in cache:
-            private = private_equivalent(config, phi=0.25, beta=0.25)
-            system = CMPSystem(private, [spec_trace(name, 0)])
-            cache[name] = run_simulation(
-                system, warmup=warmup, measure=measure
-            ).ipcs[0]
-        targets.append(cache[name])
-    return targets
+def _target_point(name: str, warmup: int, measure: int) -> SimPoint:
+    private = private_equivalent(baseline_config(n_threads=4),
+                                 phi=0.25, beta=0.25)
+    return SimPoint(config=private, traces=(("spec", name),),
+                    warmup=warmup, measure=measure, cacheable=True)
 
 
-def _mix_metrics(benchmarks: List[str], arbiter: str, warmup: int,
-                 measure: int, targets: List[float]):
+def _mix_point(benchmarks: List[str], arbiter: str,
+               warmup: int, measure: int) -> SimPoint:
     config = baseline_config(n_threads=4, arbiter=arbiter,
                              vpc=VPCAllocation.equal(4))
-    traces = [spec_trace(name, tid) for tid, name in enumerate(benchmarks)]
     # The baseline is the *conventional* cache: FCFS arbiters and a
     # thread-oblivious shared-LRU replacement; VPC brings both the FQ
     # arbiters and the quota capacity manager.
     capacity = "vpc" if arbiter == "vpc" else "lru"
-    system = CMPSystem(config, traces, capacity_policy=capacity)
-    result = run_simulation(system, warmup=warmup, measure=measure)
+    return SimPoint(
+        config=config,
+        traces=tuple(("spec", name) for name in benchmarks),
+        warmup=warmup, measure=measure, capacity_policy=capacity,
+    )
+
+
+def _metrics(result: SimulationResult, targets: List[float]):
     normalized = [
         ipc / target if target > 0 else 0.0
         for ipc, target in zip(result.ipcs, targets)
@@ -66,15 +63,32 @@ def run(fast: bool = False) -> ExperimentResult:
     # uses a long window for stability.
     warmup, measure = (15_000, 10_000) if fast else (40_000, 50_000)
     mixes = FAST_MIXES if fast else tuple(HETEROGENEOUS_MIXES)
-    target_cache: Dict[str, float] = {}
+    # One batch: a private target per distinct benchmark, then an FCFS
+    # and a VPC shared run per mix.
+    unique = []
+    for mix_name in mixes:
+        for name in HETEROGENEOUS_MIXES[mix_name]:
+            if name not in unique:
+                unique.append(name)
+    points = [_target_point(name, warmup, measure) for name in unique]
+    for mix_name in mixes:
+        benchmarks = HETEROGENEOUS_MIXES[mix_name]
+        points.append(_mix_point(benchmarks, "fcfs", warmup, measure))
+        points.append(_mix_point(benchmarks, "vpc", warmup, measure))
+    results = run_points(points)
+    target_ipc: Dict[str, float] = {
+        name: results[index].ipcs[0] for index, name in enumerate(unique)
+    }
+    mix_results = iter(results[len(unique):])
+
     rows = []
     hm_gains = []
     min_gains = []
     for mix_name in mixes:
         benchmarks = HETEROGENEOUS_MIXES[mix_name]
-        targets = _targets(benchmarks, warmup, measure, target_cache)
-        base_hm, base_min = _mix_metrics(benchmarks, "fcfs", warmup, measure, targets)
-        vpc_hm, vpc_min = _mix_metrics(benchmarks, "vpc", warmup, measure, targets)
+        targets = [target_ipc[name] for name in benchmarks]
+        base_hm, base_min = _metrics(next(mix_results), targets)
+        vpc_hm, vpc_min = _metrics(next(mix_results), targets)
         hm_gain = (vpc_hm / base_hm - 1.0) * 100 if base_hm else float("nan")
         min_gain = (vpc_min / base_min - 1.0) * 100 if base_min else float("nan")
         hm_gains.append(hm_gain)

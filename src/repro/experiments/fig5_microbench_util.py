@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from repro.common.config import VPCAllocation, baseline_config
 from repro.experiments.base import ExperimentResult, register
-from repro.system.cmp import CMPSystem
-from repro.system.simulator import run_simulation
+from repro.experiments.parallel import SimPoint, run_points
 from repro.workloads.microbench import MICROBENCHMARKS
 
 BANK_COUNTS = (2, 4, 8, 16)
@@ -24,22 +23,28 @@ def run(fast: bool = False) -> ExperimentResult:
     # first pass, so even fast mode needs a real warmup.
     warmup, measure = (25_000, 8_000) if fast else (45_000, 30_000)
     bank_counts = (2, 4) if fast else BANK_COUNTS
-    rows = []
-    for name, factory in MICROBENCHMARKS.items():
+    labels = []
+    points = []
+    for name in MICROBENCHMARKS:
         for banks in bank_counts:
             config = baseline_config(
                 n_threads=1, banks=banks, arbiter="row-fcfs",
                 vpc=VPCAllocation([1.0], [1.0]),
             )
-            system = CMPSystem(config, [factory(0)])
-            result = run_simulation(system, warmup=warmup, measure=measure)
-            rows.append((
-                f"{name} {banks}B",
-                result.utilizations["data"],
-                result.utilizations["bus"],
-                result.utilizations["tag"],
-                result.ipcs[0],
+            labels.append(f"{name} {banks}B")
+            points.append(SimPoint(
+                config=config, traces=(("micro", name),),
+                warmup=warmup, measure=measure,
             ))
+    rows = []
+    for label, result in zip(labels, run_points(points)):
+        rows.append((
+            label,
+            result.utilizations["data"],
+            result.utilizations["bus"],
+            result.utilizations["tag"],
+            result.ipcs[0],
+        ))
     return ExperimentResult(
         exp_id="fig5",
         title="L2 cache utilization of the microbenchmarks vs. bank count",

@@ -11,28 +11,33 @@ from __future__ import annotations
 
 from repro.common.config import VPCAllocation, baseline_config
 from repro.experiments.base import ExperimentResult, cycle_budget, register
-from repro.system.cmp import CMPSystem
-from repro.system.simulator import SimulationResult, run_simulation
-from repro.workloads.profiles import SPEC_ORDER, spec_trace
+from repro.experiments.parallel import SimPoint, run_points
+from repro.system.simulator import SimulationResult
+from repro.workloads.profiles import SPEC_ORDER
 
 FAST_SUBSET = ("art", "mcf", "equake", "sixtrack")
 
 
-def solo_run(name: str, warmup: int, measure: int) -> SimulationResult:
+def solo_point(name: str, warmup: int, measure: int) -> SimPoint:
     """One benchmark alone on the baseline uniprocessor configuration."""
     config = baseline_config(n_threads=1, arbiter="row-fcfs",
                              vpc=VPCAllocation([1.0], [1.0]))
-    system = CMPSystem(config, [spec_trace(name, 0)])
-    return run_simulation(system, warmup=warmup, measure=measure)
+    return SimPoint(config=config, traces=(("spec", name),),
+                    warmup=warmup, measure=measure)
+
+
+def solo_run(name: str, warmup: int, measure: int) -> SimulationResult:
+    """Single-point convenience wrapper around :func:`solo_point`."""
+    return run_points([solo_point(name, warmup, measure)])[0]
 
 
 @register("fig6")
 def run(fast: bool = False) -> ExperimentResult:
     warmup, measure = cycle_budget(fast, warmup=30_000, measure=30_000)
     names = FAST_SUBSET if fast else SPEC_ORDER
+    points = [solo_point(name, warmup, measure) for name in names]
     rows = []
-    for name in names:
-        result = solo_run(name, warmup, measure)
+    for name, result in zip(names, run_points(points)):
         rows.append((
             name,
             result.utilizations["data"],

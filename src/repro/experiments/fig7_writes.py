@@ -9,7 +9,8 @@ no L2 writes.
 from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult, cycle_budget, register
-from repro.experiments.fig6_spec_util import FAST_SUBSET, solo_run
+from repro.experiments.fig6_spec_util import FAST_SUBSET, solo_point
+from repro.experiments.parallel import run_points
 from repro.workloads.profiles import SPEC_ORDER
 
 
@@ -17,9 +18,9 @@ from repro.workloads.profiles import SPEC_ORDER
 def run(fast: bool = False) -> ExperimentResult:
     warmup, measure = cycle_budget(fast, warmup=30_000, measure=30_000)
     names = FAST_SUBSET if fast else SPEC_ORDER
+    points = [solo_point(name, warmup, measure) for name in names]
     rows = []
-    for name in names:
-        result = solo_run(name, warmup, measure)
+    for name, result in zip(names, run_points(points)):
         rows.append((
             name,
             result.write_fraction,

@@ -17,20 +17,34 @@ from typing import Optional
 
 from repro.common.config import VPCAllocation, baseline_config, private_equivalent
 from repro.experiments.base import ExperimentResult, register
-from repro.system.cmp import CMPSystem
-from repro.system.simulator import run_simulation
-from repro.workloads.microbench import loads_trace, stores_trace
+from repro.experiments.parallel import SimPoint, run_points
 
 VPC_STORE_SHARES = (0.0, 0.25, 0.5, 0.75, 1.0)
 
 
-def _target(config, trace_factory, phi: float, warmup: int, measure: int) -> float:
-    """Target IPC on the private machine (phi of bandwidth, half the ways)."""
+def _target_point(config, trace_kind: str, phi: float,
+                  warmup: int, measure: int) -> Optional[SimPoint]:
+    """Target-IPC point on the private machine (phi of bandwidth, half
+    the ways); ``None`` at phi = 0 — the paper sets that target IPC to 0."""
     if phi <= 0.0:
-        return 0.0  # paper: 'for phi_i = 0 we set the target IPC to 0'
+        return None
     private = private_equivalent(config, phi=phi, beta=0.5)
-    system = CMPSystem(private, [trace_factory(0)])
-    return run_simulation(system, warmup=warmup, measure=measure).ipcs[0]
+    return SimPoint(config=private, traces=((trace_kind,),),
+                    warmup=warmup, measure=measure, cacheable=True)
+
+
+def _shared_point(arbiter: str, stores_share: Optional[float],
+                  warmup: int, measure: int):
+    if stores_share is None:
+        vpc = VPCAllocation.equal(2)
+        label = arbiter.upper()
+    else:
+        vpc = VPCAllocation([1.0 - stores_share, stores_share], [0.5, 0.5])
+        label = f"VPC {int(stores_share * 100)}%"
+    config = baseline_config(n_threads=2, arbiter=arbiter, vpc=vpc)
+    point = SimPoint(config=config, traces=(("loads",), ("stores",)),
+                     warmup=warmup, measure=measure)
+    return label, point
 
 
 @register("fig8")
@@ -38,31 +52,45 @@ def run(fast: bool = False) -> ExperimentResult:
     # Fast mode still needs the microbenchmark arrays resident in the L2.
     warmup, measure = (25_000, 8_000) if fast else (45_000, 30_000)
     shares = (0.25, 0.75) if fast else VPC_STORE_SHARES
-    rows = []
 
-    def shared_run(arbiter: str, stores_share: Optional[float] = None):
-        if stores_share is None:
-            vpc = VPCAllocation.equal(2)
-            label = arbiter.upper()
-        else:
-            vpc = VPCAllocation([1.0 - stores_share, stores_share], [0.5, 0.5])
-            label = f"VPC {int(stores_share * 100)}%"
-        config = baseline_config(n_threads=2, arbiter=arbiter, vpc=vpc)
-        system = CMPSystem(config, [loads_trace(0), stores_trace(1)])
-        result = run_simulation(system, warmup=warmup, measure=measure)
-        return label, config, result
+    # One flat batch: every shared run and every (nonzero-phi) private
+    # target is an independent point, so the whole figure fans out.
+    points = []
 
-    for arbiter in ("row-fcfs", "fcfs"):
-        label, config, result = shared_run(arbiter)
-        rows.append((label, result.ipcs[0], float("nan"), result.ipcs[1],
-                     float("nan"), result.utilizations["data"]))
+    def add(point: SimPoint) -> int:
+        points.append(point)
+        return len(points) - 1
 
+    shared = [
+        (label, add(point))
+        for label, point in (
+            _shared_point(arbiter, None, warmup, measure)
+            for arbiter in ("row-fcfs", "fcfs")
+        )
+    ]
+    target_of = {}
     for share in shares:
-        label, config, result = shared_run("vpc", share)
-        loads_target = _target(config, loads_trace, 1.0 - share, warmup, measure)
-        stores_target = _target(config, stores_trace, share, warmup, measure)
-        rows.append((label, result.ipcs[0], loads_target, result.ipcs[1],
-                     stores_target, result.utilizations["data"]))
+        label, point = _shared_point("vpc", share, warmup, measure)
+        shared.append((label, add(point)))
+        for kind, phi in (("loads", 1.0 - share), ("stores", share)):
+            target = _target_point(point.config, kind, phi, warmup, measure)
+            if target is not None:
+                target_of[(share, kind)] = add(target)
+    results = run_points(points)
+
+    def target_ipc(share: float, kind: str) -> float:
+        index = target_of.get((share, kind))
+        return results[index].ipcs[0] if index is not None else 0.0
+
+    rows = []
+    for (label, index), share in zip(shared, (None, None, *shares)):
+        result = results[index]
+        if share is None:
+            targets = (float("nan"), float("nan"))
+        else:
+            targets = (target_ipc(share, "loads"), target_ipc(share, "stores"))
+        rows.append((label, result.ipcs[0], targets[0], result.ipcs[1],
+                     targets[1], result.utilizations["data"]))
 
     return ExperimentResult(
         exp_id="fig8",

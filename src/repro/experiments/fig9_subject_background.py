@@ -19,33 +19,31 @@ from __future__ import annotations
 
 from repro.common.config import VPCAllocation, baseline_config, private_equivalent
 from repro.experiments.base import ExperimentResult, cycle_budget, register
-from repro.system.cmp import CMPSystem
-from repro.system.simulator import run_simulation
-from repro.workloads.microbench import stores_trace
-from repro.workloads.profiles import SPEC_ORDER, spec_trace
+from repro.experiments.parallel import SimPoint, run_points
+from repro.workloads.profiles import SPEC_ORDER
 
 SUBJECT_SHARES = (0.25, 0.5, 1.0)
 FAST_SUBSET = ("art", "mcf", "equake", "gzip")
 
 
-def _shared_result(name: str, arbiter: str, subject_share: float,
-                   warmup: int, measure: int):
+def _shared_point(name: str, arbiter: str, subject_share: float,
+                  warmup: int, measure: int) -> SimPoint:
     background = (1.0 - subject_share) / 3.0
     vpc = VPCAllocation(
         [subject_share, background, background, background],
         [0.25, 0.25, 0.25, 0.25],
     )
     config = baseline_config(n_threads=4, arbiter=arbiter, vpc=vpc)
-    traces = [spec_trace(name, 0)] + [stores_trace(tid) for tid in (1, 2, 3)]
-    system = CMPSystem(config, traces)
-    return run_simulation(system, warmup=warmup, measure=measure)
+    traces = (("spec", name), ("stores",), ("stores",), ("stores",))
+    return SimPoint(config=config, traces=traces,
+                    warmup=warmup, measure=measure)
 
 
-def _phi1_target(name: str, warmup: int, measure: int) -> float:
+def _phi1_target_point(name: str, warmup: int, measure: int) -> SimPoint:
     config = baseline_config(n_threads=4)
     private = private_equivalent(config, phi=1.0, beta=0.25)
-    system = CMPSystem(private, [spec_trace(name, 0)])
-    return run_simulation(system, warmup=warmup, measure=measure).ipcs[0]
+    return SimPoint(config=private, traces=(("spec", name),),
+                    warmup=warmup, measure=measure, cacheable=True)
 
 
 @register("fig9")
@@ -53,13 +51,22 @@ def run(fast: bool = False) -> ExperimentResult:
     warmup, measure = cycle_budget(fast, warmup=35_000, measure=25_000)
     names = FAST_SUBSET if fast else SPEC_ORDER
     shares = (0.5,) if fast else SUBJECT_SHARES
+    # Per benchmark: the private phi=1 target, the FCFS reference, and
+    # one VPC run per subject share — all independent points.
+    points = []
+    for name in names:
+        points.append(_phi1_target_point(name, warmup, measure))
+        points.append(_shared_point(name, "fcfs", 0.25, warmup, measure))
+        for share in shares:
+            points.append(_shared_point(name, "vpc", share, warmup, measure))
+    results = iter(run_points(points))
     rows = []
     for name in names:
-        target = _phi1_target(name, warmup, measure)
-        fcfs = _shared_result(name, "fcfs", 0.25, warmup, measure)
+        target = next(results).ipcs[0]
+        fcfs = next(results)
         row = [name, target, fcfs.ipcs[0] / target if target else 0.0]
-        for share in shares:
-            result = _shared_result(name, "vpc", share, warmup, measure)
+        for _ in shares:
+            result = next(results)
             row.append(result.ipcs[0] / target if target else 0.0)
         rows.append(tuple(row))
     headers = ["benchmark", "phi1_target_ipc", "fcfs_norm"] + [

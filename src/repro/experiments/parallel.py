@@ -1,0 +1,215 @@
+"""Parallel experiment execution and the on-disk target-IPC cache.
+
+Every figure/sweep is a collection of *independent* simulation points
+(separate :class:`~repro.system.cmp.CMPSystem` instances, no shared
+state), so they parallelize trivially across processes.  A point is
+described by a :class:`SimPoint` — a frozen, picklable value object —
+and realized by the module-level :func:`run_point` so worker processes
+can unpickle and execute it.
+
+Two mechanisms, both off by default and switched from the CLI
+(``--jobs N`` / ``--no-cache`` on ``python -m repro.experiments``):
+
+* **fan-out** — :func:`run_points` dispatches points to a
+  ``ProcessPoolExecutor`` when more than one job is configured;
+* **target cache** — points flagged ``cacheable`` (the
+  ``private_equivalent`` target-IPC runs that fig8/fig9/fig10 and the
+  ablations re-run with identical parameters every invocation) are
+  memoized on disk, keyed by a content hash of the full point
+  description.  The cache lives at ``$REPRO_CACHE_DIR`` (or
+  ``~/.cache/repro-vpc``); bump :data:`CACHE_VERSION` in any PR that
+  changes simulated behavior.
+
+Determinism makes both safe: traces are seeded PRNG streams, so a point
+simulates bit-identically in any process on any host, and a cached
+result is exactly what a fresh run would produce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.system.cmp import CMPSystem
+from repro.system.simulator import SimulationResult, run_simulation
+
+# Bump whenever a change alters simulation results; stale entries are
+# then simply never looked up again.
+CACHE_VERSION = 1
+
+# Module-level execution policy, set once from the CLI via configure().
+_jobs = 1
+_cache_enabled = True
+
+#: hits/misses observability (tests assert on this; reset via configure).
+cache_stats: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def configure(jobs: Optional[int] = None, cache: Optional[bool] = None) -> None:
+    """Set the process-wide execution policy (``jobs=0`` → all CPUs)."""
+    global _jobs, _cache_enabled
+    if jobs is not None:
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        _jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
+    if cache is not None:
+        _cache_enabled = cache
+    cache_stats["hits"] = 0
+    cache_stats["misses"] = 0
+
+
+def configured_jobs() -> int:
+    return _jobs
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One simulation: a system configuration plus seeded trace specs.
+
+    ``traces`` holds one spec per hardware thread:
+
+    * ``("loads",)`` / ``("stores",)`` — the microbenchmarks;
+    * ``("micro", name)`` — any entry of ``MICROBENCHMARKS``;
+    * ``("spec", name)`` — a SPEC stand-in profile;
+    * ``("synthetic", profile)`` — an explicit ``WorkloadProfile``.
+
+    Thread ids are positional.  Everything here is a frozen dataclass or
+    a primitive, so a point pickles to workers and ``repr`` is a stable
+    content key.
+    """
+
+    config: SystemConfig
+    traces: Tuple[Tuple, ...]
+    warmup: int
+    measure: int
+    capacity_policy: str = "vpc"
+    intra_thread_row: bool = True
+    vpc_selection: str = "finish"
+    smt_degree: int = 1
+    # Only target-IPC points (re-run with identical parameters on every
+    # experiment invocation) should set this; workload points are cheap
+    # relative to their disk-churn and cache-invalidation risk.
+    cacheable: bool = False
+
+
+def _build_trace(spec: Tuple, thread_id: int):
+    kind = spec[0]
+    if kind == "loads":
+        from repro.workloads.microbench import loads_trace
+        return loads_trace(thread_id)
+    if kind == "stores":
+        from repro.workloads.microbench import stores_trace
+        return stores_trace(thread_id)
+    if kind == "micro":
+        from repro.workloads.microbench import MICROBENCHMARKS
+        return MICROBENCHMARKS[spec[1]](thread_id)
+    if kind == "spec":
+        from repro.workloads.profiles import spec_trace
+        return spec_trace(spec[1], thread_id)
+    if kind == "synthetic":
+        from repro.workloads.synthetic import synthetic_trace
+        return synthetic_trace(spec[1], thread_id)
+    raise ValueError(f"unknown trace spec {spec!r}")
+
+
+def run_point(point: SimPoint) -> SimulationResult:
+    """Simulate one point from scratch (no cache involvement)."""
+    traces = [
+        _build_trace(spec, tid) for tid, spec in enumerate(point.traces)
+    ]
+    system = CMPSystem(
+        point.config,
+        traces,
+        capacity_policy=point.capacity_policy,
+        intra_thread_row=point.intra_thread_row,
+        vpc_selection=point.vpc_selection,
+        smt_degree=point.smt_degree,
+    )
+    return run_simulation(system, warmup=point.warmup, measure=point.measure)
+
+
+# ---------------------------------------------------------------------- #
+# Content-addressed result cache.
+# ---------------------------------------------------------------------- #
+
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return Path(root)
+    return Path.home() / ".cache" / "repro-vpc"
+
+
+def cache_key(point: SimPoint) -> str:
+    """Content hash of the full point description.
+
+    Frozen-dataclass reprs include every field recursively, so any
+    config/trace/interval difference changes the key.
+    """
+    text = f"v{CACHE_VERSION}:{point!r}"
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _cache_load(point: SimPoint) -> Optional[SimulationResult]:
+    path = cache_dir() / f"{cache_key(point)}.json"
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    try:
+        return SimulationResult(**payload)
+    except TypeError:
+        return None  # field set drifted without a CACHE_VERSION bump
+
+
+def _cache_store(point: SimPoint, result: SimulationResult) -> None:
+    directory = cache_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{cache_key(point)}.json"
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(asdict(result)))
+        tmp.replace(path)  # atomic: concurrent writers race benignly
+    except OSError:
+        pass  # cache is an optimization; never fail the run for it
+
+
+# ---------------------------------------------------------------------- #
+# Fan-out.
+# ---------------------------------------------------------------------- #
+
+def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
+    """Run every point, in order, honoring the configured jobs/cache.
+
+    Cached results are returned without simulating; the remainder run on
+    a process pool when more than one job is configured (and there is
+    more than one point to run), inline otherwise.
+    """
+    results: List[Optional[SimulationResult]] = [None] * len(points)
+    todo: List[int] = []
+    for index, point in enumerate(points):
+        if _cache_enabled and point.cacheable:
+            cached = _cache_load(point)
+            if cached is not None:
+                cache_stats["hits"] += 1
+                results[index] = cached
+                continue
+            cache_stats["misses"] += 1
+        todo.append(index)
+
+    if len(todo) > 1 and _jobs > 1:
+        with ProcessPoolExecutor(max_workers=min(_jobs, len(todo))) as pool:
+            computed = list(pool.map(run_point, [points[i] for i in todo]))
+    else:
+        computed = [run_point(points[i]) for i in todo]
+
+    for index, result in zip(todo, computed):
+        results[index] = result
+        if _cache_enabled and points[index].cacheable:
+            _cache_store(points[index], result)
+    return results  # type: ignore[return-value]

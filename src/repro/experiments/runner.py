@@ -2,7 +2,10 @@
 
 ``<id>`` is any key printed by ``--list`` (table1, table2, fig4..fig10,
 ablation-*), or ``all``.  ``--fast`` runs the reduced-fidelity variant
-used by the test suite.
+used by the test suite.  ``--jobs N`` fans independent simulation
+points across N worker processes (0 = all CPUs); ``--no-cache``
+disables the on-disk target-IPC cache (see
+:mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.experiments import parallel
 from repro.experiments.base import REGISTRY, ExperimentResult
 
 
@@ -36,7 +40,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="render numeric columns as bar charts")
     parser.add_argument("--list", action="store_true",
                         help="list available experiment ids")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent simulation "
+                             "points (0 = all CPUs; default 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk target-IPC result cache")
     args = parser.parse_args(argv)
+    parallel.configure(jobs=args.jobs, cache=not args.no_cache)
 
     if args.list or not args.experiments:
         for exp_id in sorted(REGISTRY):
@@ -56,6 +66,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(result.format_table())
         print(f"({time.time() - started:.1f}s)\n")
+    stats = parallel.cache_stats
+    if stats["hits"] or stats["misses"]:
+        print(f"target cache: {stats['hits']} hits, "
+              f"{stats['misses']} misses ({parallel.cache_dir()})")
     return 0
 
 

@@ -16,9 +16,7 @@ from __future__ import annotations
 
 from repro.common.config import VPCAllocation, baseline_config
 from repro.experiments.base import ExperimentResult, cycle_budget, register
-from repro.system.cmp import CMPSystem
-from repro.system.simulator import run_simulation
-from repro.workloads.profiles import spec_trace
+from repro.experiments.parallel import SimPoint, run_points
 
 # A demand ladder: each added thread is a real mid-to-high consumer.
 THREAD_LADDER = ("art", "mesa", "vpr", "crafty")
@@ -29,7 +27,8 @@ def run(fast: bool = False) -> ExperimentResult:
     warmup, measure = cycle_budget(fast, warmup=30_000, measure=25_000)
     thread_counts = (1, 4) if fast else (1, 2, 4)
     bank_counts = (2, 4) if fast else (2, 4, 8)
-    rows = []
+    labels = []
+    points = []
     for n_threads in thread_counts:
         benchmarks = THREAD_LADDER[:n_threads]
         for banks in bank_counts:
@@ -37,17 +36,20 @@ def run(fast: bool = False) -> ExperimentResult:
                 n_threads=n_threads, banks=banks, arbiter="vpc",
                 vpc=VPCAllocation.equal(n_threads),
             )
-            traces = [
-                spec_trace(name, tid) for tid, name in enumerate(benchmarks)
-            ]
-            system = CMPSystem(config, traces)
-            result = run_simulation(system, warmup=warmup, measure=measure)
-            rows.append((
-                f"{n_threads}T/{banks}B",
-                sum(result.ipcs),
-                result.utilizations["data"],
-                result.utilizations["tag"],
+            labels.append(f"{n_threads}T/{banks}B")
+            points.append(SimPoint(
+                config=config,
+                traces=tuple(("spec", name) for name in benchmarks),
+                warmup=warmup, measure=measure,
             ))
+    rows = []
+    for label, result in zip(labels, run_points(points)):
+        rows.append((
+            label,
+            sum(result.ipcs),
+            result.utilizations["data"],
+            result.utilizations["tag"],
+        ))
     return ExperimentResult(
         exp_id="sweep-designspace",
         title="Bank-count design space: aggregate IPC and utilization",

@@ -13,23 +13,26 @@ from __future__ import annotations
 
 from repro.common.config import VPCAllocation, baseline_config
 from repro.experiments.base import ExperimentResult, cycle_budget, register
-from repro.system.cmp import CMPSystem
-from repro.system.simulator import run_simulation
-from repro.workloads.profiles import spec_trace
+from repro.experiments.parallel import SimPoint, run_points
 
 WORKLOAD = ("gcc", "gzip", "ammp", "twolf")
+
+SMT_DEGREES = (1, 2, 4)
 
 
 @register("sweep-smt")
 def run(fast: bool = False) -> ExperimentResult:
     warmup, measure = cycle_budget(fast, warmup=30_000, measure=20_000)
+    config = baseline_config(n_threads=4, arbiter="vpc",
+                             vpc=VPCAllocation.equal(4))
+    traces = tuple(("spec", name) for name in WORKLOAD)
+    points = [
+        SimPoint(config=config, traces=traces, warmup=warmup,
+                 measure=measure, smt_degree=smt_degree)
+        for smt_degree in SMT_DEGREES
+    ]
     rows = []
-    for smt_degree in (1, 2, 4):
-        config = baseline_config(n_threads=4, arbiter="vpc",
-                                 vpc=VPCAllocation.equal(4))
-        traces = [spec_trace(name, tid) for tid, name in enumerate(WORKLOAD)]
-        system = CMPSystem(config, traces, smt_degree=smt_degree)
-        result = run_simulation(system, warmup=warmup, measure=measure)
+    for smt_degree, result in zip(SMT_DEGREES, run_points(points)):
         cores = 4 // smt_degree
         rows.append((
             f"{cores}core x {smt_degree}way",

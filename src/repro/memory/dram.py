@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Optional
 
 from repro.common.config import MemoryConfig
+from repro.common.latch import NEVER
 
 
 @dataclass
@@ -106,6 +107,27 @@ class DRAMChannel:
     @property
     def pending(self) -> int:
         return len(self._reads) + len(self._writes)
+
+    def next_event(self, now: int) -> int:
+        """Earliest cycle >= ``now`` at which an access could issue.
+
+        An access is issuable once it has arrived (``enqueued``) and its
+        DRAM bank is free; ``_try_issue`` mutates nothing on failure, so
+        cycles before this bound are provable no-ops.
+        """
+        nxt = NEVER
+        bank_free = self._bank_free
+        n_banks = self.n_banks
+        for queue in (self._reads, self._writes):
+            for access in queue:
+                ready = bank_free[access.line % n_banks]
+                if ready < access.enqueued:
+                    ready = access.enqueued
+                if ready <= now:
+                    return now
+                if ready < nxt:
+                    nxt = ready
+        return nxt
 
     def idle_latency(self) -> int:
         """Unloaded read latency in processor cycles (for tests/docs)."""

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional, Sequence
 
 from repro.common.config import MemoryConfig
+from repro.common.latch import NEVER
 
 
 @dataclass
@@ -197,6 +198,24 @@ class SharedDRAMChannel:
     @property
     def pending(self) -> int:
         return sum(len(queue) for queue in self._queues)
+
+    def next_event(self, now: int) -> int:
+        """Earliest cycle >= ``now`` with an issuable access (see
+        :meth:`repro.memory.dram.DRAMChannel.next_event`); ``_select``
+        and ``_try_issue`` mutate nothing while nothing is issuable."""
+        nxt = NEVER
+        bank_free = self._bank_free
+        n_banks = self.n_banks
+        for queue in self._queues:
+            for access in queue:
+                ready = bank_free[access.line % n_banks]
+                if ready < access.enqueued:
+                    ready = access.enqueued
+                if ready <= now:
+                    return now
+                if ready < nxt:
+                    nxt = ready
+        return nxt
 
     def idle_latency(self) -> int:
         cfg = self.config

@@ -32,6 +32,7 @@ from repro.cpu.core_model import CoreModel
 from repro.cpu.isa import TraceItem
 from repro.interconnect.crossbar import Crossbar
 from repro.memory.controller import MemoryController
+from repro.system.kernel import KERNELS
 
 
 class CMPSystem:
@@ -46,6 +47,7 @@ class CMPSystem:
         vpc_selection: str = "finish",
         record_requests: bool = False,
         smt_degree: int = 1,
+        kernel: str = "event",
     ) -> None:
         config.validate()
         if len(traces) != config.n_threads:
@@ -54,8 +56,18 @@ class CMPSystem:
             )
         if capacity_policy not in ("vpc", "lru"):
             raise ValueError(f"unknown capacity policy {capacity_policy!r}")
+        if kernel not in ("cycle", "event"):
+            raise ValueError(f"unknown simulation kernel {kernel!r}")
         self.config = config
+        self.kernel = kernel
         self.cycle = 0
+        # Cycles the event kernel fast-forwarded instead of stepping
+        # (observability; always 0 under the cycle kernel).
+        self.skipped_cycles = 0
+        # Event-kernel profitability adapter state (see kernel.run_event):
+        # epochs left to sleep scanning, and the next sleep length.
+        self._skip_sleep = 0
+        self._skip_penalty = 1
         self.intra_thread_row = intra_thread_row
         self.vpc_selection = vpc_selection
         self.record_requests = record_requests
@@ -220,8 +232,25 @@ class CMPSystem:
         self.cycle += 1
 
     def run(self, cycles: int) -> None:
-        for _ in range(cycles):
-            self.step()
+        KERNELS[self.kernel](self, cycles)
+
+    def busy(self) -> bool:
+        """True while any request is in flight anywhere in the machine."""
+        if self.crossbar.busy() or self.l2.busy() or self.memory.busy():
+            return True
+        return self.l3 is not None and self.l3.busy()
+
+    def next_component_event(self, now: int) -> int:
+        """Earliest cycle >= ``now`` at which any non-core component
+        could act (``NEVER`` when the machine is fully drained)."""
+        nxt = min(
+            self.crossbar.next_event(now),
+            self.l2.next_event(now),
+            self.memory.next_event(now),
+        )
+        if self.l3 is not None:
+            nxt = min(nxt, self.l3.next_event(now))
+        return nxt
 
     # ------------------------------------------------------------------ #
     # Reporting helpers (interval-aware reporting lives in simulator.py).

@@ -4,6 +4,13 @@ from __future__ import annotations
 
 import pytest
 
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the experiment result cache at a per-test directory so tests
+    never read or pollute the user's ``~/.cache/repro-vpc``."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
 from repro.common.config import (
     L2Config,
     MemoryConfig,

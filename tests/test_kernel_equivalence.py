@@ -1,0 +1,83 @@
+"""Cross-kernel equivalence: the skip-ahead event kernel must reproduce
+the cycle-by-cycle stepper bit for bit.
+
+Every field of :class:`~repro.system.simulator.SimulationResult` — IPCs,
+instruction counts, utilizations, and all L2 counters — is compared with
+exact equality (no tolerances): the event kernel only skips cycles it
+can prove are no-ops, so any divergence is a bug.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict
+
+import pytest
+
+from repro.common.config import baseline_config
+from repro.system.cmp import CMPSystem
+from repro.system.simulator import run_simulation
+from repro.workloads.microbench import loads_trace, stores_trace
+from repro.workloads.profiles import HETEROGENEOUS_MIXES, spec_trace
+
+
+def _run(config, trace_factories, kernel, warmup, measure, **kwargs):
+    traces = [factory(tid) for tid, factory in enumerate(trace_factories)]
+    system = CMPSystem(config, traces, kernel=kernel, **kwargs)
+    result = run_simulation(system, warmup=warmup, measure=measure)
+    return system, result
+
+
+def _assert_equivalent(config, trace_factories, warmup=6_000, measure=4_000,
+                       **kwargs):
+    _, reference = _run(config, trace_factories, "cycle", warmup, measure,
+                        **kwargs)
+    system, skipped = _run(config, trace_factories, "event", warmup, measure,
+                           **kwargs)
+    assert asdict(skipped) == asdict(reference)
+    return system
+
+
+class TestKernelEquivalence:
+    def test_two_thread_loads_stores_vpc(self):
+        config = baseline_config(n_threads=2, arbiter="vpc")
+        system = _assert_equivalent(config, [loads_trace, stores_trace])
+        # The test is vacuous unless the event kernel actually skipped.
+        assert system.skipped_cycles > 0
+
+    def test_two_thread_loads_stores_fcfs(self):
+        config = baseline_config(n_threads=2, arbiter="fcfs")
+        system = _assert_equivalent(config, [loads_trace, stores_trace],
+                                    capacity_policy="lru")
+        assert system.skipped_cycles > 0
+
+    def test_four_thread_fig10_mix(self):
+        names = HETEROGENEOUS_MIXES["mix1"]
+        factories = [
+            (lambda tid, name=name: spec_trace(name, tid)) for name in names
+        ]
+        config = baseline_config(n_threads=4, arbiter="vpc")
+        system = _assert_equivalent(config, factories,
+                                    warmup=5_000, measure=3_000)
+        assert system.skipped_cycles > 0
+
+    def test_smt_core_pair(self):
+        config = baseline_config(n_threads=2, arbiter="vpc")
+        _assert_equivalent(config, [loads_trace, stores_trace],
+                           warmup=4_000, measure=3_000, smt_degree=2)
+
+    def test_finite_trace_drains_identically(self):
+        # A short finite trace leaves the machine idle long before the
+        # interval ends — the drained tail must be skipped, not mis-stepped.
+        def short(tid):
+            return itertools.islice(loads_trace(tid), 200)
+
+        config = baseline_config(n_threads=2, arbiter="vpc")
+        system = _assert_equivalent(config, [short, short],
+                                    warmup=1_000, measure=2_000)
+        assert system.skipped_cycles > 1_000
+
+    def test_unknown_kernel_rejected(self):
+        config = baseline_config(n_threads=1, arbiter="row-fcfs")
+        with pytest.raises(ValueError):
+            CMPSystem(config, [loads_trace(0)], kernel="warp")

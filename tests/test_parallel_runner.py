@@ -1,0 +1,118 @@
+"""The parallel point runner: cross-process determinism and the cache.
+
+The fan-out and the on-disk cache are only sound because a
+:class:`~repro.experiments.parallel.SimPoint` simulates bit-identically
+wherever and whenever it runs — seeded PRNG traces, no ambient state.
+These tests pin that down, then the cache mechanics (hit/miss/write,
+key sensitivity, opt-out).  The autouse conftest fixture points
+``REPRO_CACHE_DIR`` at a per-test tmp directory.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.common.config import VPCAllocation, baseline_config, private_equivalent
+from repro.experiments import parallel
+from repro.experiments.parallel import SimPoint, run_point, run_points
+
+
+@pytest.fixture(autouse=True)
+def _reset_execution_policy():
+    parallel.configure(jobs=1, cache=True)
+    yield
+    parallel.configure(jobs=1, cache=True)
+
+
+def _two_thread_point(**overrides) -> SimPoint:
+    params = dict(
+        config=baseline_config(n_threads=2, arbiter="vpc",
+                               vpc=VPCAllocation.equal(2)),
+        traces=(("loads",), ("stores",)),
+        warmup=500,
+        measure=1_500,
+    )
+    params.update(overrides)
+    return SimPoint(**params)
+
+
+def _target_point() -> SimPoint:
+    private = private_equivalent(baseline_config(n_threads=2),
+                                 phi=0.5, beta=0.5)
+    return SimPoint(config=private, traces=(("spec", "art"),),
+                    warmup=500, measure=1_500, cacheable=True)
+
+
+def test_cross_process_reproducibility():
+    """A point simulated in a worker process matches the in-process run
+    exactly — the seeded trace generators leave nothing to the host."""
+    point = _two_thread_point()
+    local = run_point(point)
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        remote = pool.submit(run_point, point).result()
+    assert remote == local
+
+
+def test_run_points_parallel_matches_serial():
+    points = [
+        _two_thread_point(),
+        _two_thread_point(traces=(("spec", "art"), ("spec", "mcf"))),
+        _target_point(),
+    ]
+    serial = run_points(points)
+    parallel.configure(jobs=2, cache=False)
+    fanned = run_points(points)
+    assert fanned == serial
+
+
+def test_cache_write_then_hit():
+    point = _target_point()
+    first = run_points([point])[0]
+    assert parallel.cache_stats == {"hits": 0, "misses": 1}
+    files = list(parallel.cache_dir().glob("*.json"))
+    assert len(files) == 1
+    second = run_points([point])[0]
+    assert parallel.cache_stats == {"hits": 1, "misses": 1}
+    assert second == first
+
+
+def test_uncacheable_points_never_touch_disk():
+    run_points([_two_thread_point()])
+    assert parallel.cache_stats == {"hits": 0, "misses": 0}
+    assert not parallel.cache_dir().exists()
+
+
+def test_no_cache_disables_reads_and_writes():
+    parallel.configure(cache=False)
+    run_points([_target_point()])
+    assert parallel.cache_stats == {"hits": 0, "misses": 0}
+    assert not parallel.cache_dir().exists()
+
+
+def test_cache_key_covers_every_field():
+    base = _target_point()
+    variants = [
+        _two_thread_point(),
+        SimPoint(config=base.config, traces=base.traces,
+                 warmup=base.warmup + 1, measure=base.measure,
+                 cacheable=True),
+        SimPoint(config=base.config, traces=(("spec", "mcf"),),
+                 warmup=base.warmup, measure=base.measure, cacheable=True),
+    ]
+    keys = {parallel.cache_key(p) for p in [base, *variants]}
+    assert len(keys) == len(variants) + 1
+
+
+def test_corrupt_cache_entry_falls_back_to_simulation(tmp_path):
+    point = _target_point()
+    expected = run_point(point)
+    directory = parallel.cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{parallel.cache_key(point)}.json"
+    path.write_text("{not json")
+    assert run_points([point])[0] == expected
+    # ... and the bad entry was repaired in passing.
+    assert run_points([point])[0] == expected
+    assert parallel.cache_stats["hits"] >= 1
