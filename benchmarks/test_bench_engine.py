@@ -1,6 +1,8 @@
 """Benchmarks: raw simulator and arbiter throughput (not a paper artifact,
 but the number that governs every experiment's wall-clock)."""
 
+import time
+
 from repro.common.config import VPCAllocation, baseline_config
 from repro.core.arbiter import ArbiterEntry
 from repro.core.vpc_arbiter import VPCArbiter
@@ -45,6 +47,86 @@ def test_bench_experiment_point_pipeline(benchmark):
         )
     finally:
         parallel.configure(jobs=1, cache=True)
+
+
+def _fresh_system(warm=5_000):
+    config = baseline_config(n_threads=2, arbiter="vpc",
+                             vpc=VPCAllocation.equal(2))
+    system = CMPSystem(config, [loads_trace(0), stores_trace(1)])
+    system.run(warm)
+    return system
+
+
+def _force_untraced(system):
+    """Strip every telemetry hook, mirroring ``attach_telemetry`` — the
+    reference 'engine baseline' even if tracing ever became default-on."""
+    system.telemetry = None
+    for arbiters in system._vpc_arbiters.values():
+        for arbiter in arbiters:
+            arbiter._trace = None
+    for bank in system.banks:
+        bank._trace = None
+    system.crossbar._trace = None
+    for channel in system.memory.channels:
+        channel._trace = None
+    for core in system.cores:
+        mshrs = getattr(core, "mshrs", None)
+        if mshrs is not None:
+            mshrs._trace = None
+    return system
+
+
+def test_trace_disabled_overhead_under_two_percent():
+    """The zero-overhead-when-disabled contract (docs/ARCHITECTURE.md
+    "Observability"): a default-constructed system — tracing disabled —
+    must run within 2% of the forcibly-untraced engine baseline.
+    Interleaved min-of-rounds cancels clock drift and warmup effects;
+    this trips if default construction ever attaches a bus or the
+    disabled path grows beyond its one ``is not None`` guard."""
+    def timed(system, cycles=2_000):
+        start = time.perf_counter()
+        system.run(cycles)
+        return time.perf_counter() - start
+
+    # One steady-state system per side (loads/stores are homogeneous
+    # infinite streams, so every chunk simulates statistically identical
+    # work).  Each round interleaves many short chunks in alternating
+    # order so CPU-frequency and scheduler drift hit both sides equally,
+    # and the verdict is the *best* round ratio: one clean round proves
+    # the disabled path is not systematically slower.
+    baseline_system = _force_untraced(_fresh_system())
+    disabled_system = _fresh_system()
+    ratios = []
+    for _ in range(6):
+        baseline_total = disabled_total = 0.0
+        for chunk_index in range(10):
+            if chunk_index % 2 == 0:
+                baseline_total += timed(baseline_system)
+                disabled_total += timed(disabled_system)
+            else:
+                disabled_total += timed(disabled_system)
+                baseline_total += timed(baseline_system)
+        ratios.append(disabled_total / baseline_total)
+    assert min(ratios) <= 1.02, (
+        f"tracing-disabled engine is >2% slower than the untraced "
+        f"baseline in every round: ratios {[f'{r:.3f}' for r in ratios]}"
+    )
+
+
+def test_bench_traced_simulation(benchmark):
+    """The same 2-thread CMP with full tracing enabled into a ring
+    buffer — the cost of turning observability *on* (not bounded; the
+    contract only covers the disabled path)."""
+    from repro.telemetry import RingBufferSink, TelemetryBus
+
+    config = baseline_config(n_threads=2, arbiter="vpc",
+                             vpc=VPCAllocation.equal(2))
+    bus = TelemetryBus()
+    bus.attach(RingBufferSink())
+    system = CMPSystem(config, [loads_trace(0), stores_trace(1)],
+                       telemetry=bus)
+    system.run(5_000)
+    benchmark.pedantic(system.run, args=(10_000,), iterations=1, rounds=3)
 
 
 def test_bench_vpc_arbiter_decision_rate(benchmark):

@@ -63,6 +63,34 @@ def queueing_delay(request: MemoryRequest) -> Optional[int]:
     return request.entered_arbitration_cycle - request.arrived_bank_cycle
 
 
+# Stage boundaries of the read pipeline, as (name, start-stamp,
+# end-stamp) attribute pairs.  This is the shared vocabulary between
+# the list-based summaries here and the streaming histograms in
+# ``repro.telemetry.histograms``.
+_STAGES = (
+    ("queueing", "arrived_bank_cycle", "entered_arbitration_cycle"),
+    ("tag", "entered_arbitration_cycle", "tag_done_cycle"),
+    ("data", "tag_done_cycle", "data_done_cycle"),
+    ("bus", "data_done_cycle", "critical_word_cycle"),
+)
+
+
+def stage_latencies(request: MemoryRequest) -> Dict[str, int]:
+    """Per-stage cycle counts of one request (only stages whose both
+    stamps are present), plus the issue-to-critical-word ``total`` for
+    completed loads."""
+    out: Dict[str, int] = {}
+    total = load_latency(request)
+    if total is not None:
+        out["total"] = total
+    for name, start_attr, end_attr in _STAGES:
+        start = getattr(request, start_attr)
+        end = getattr(request, end_attr)
+        if start >= 0 and end >= start:
+            out[name] = end - start
+    return out
+
+
 def loads_by_thread(
     requests: Sequence[MemoryRequest],
 ) -> Dict[int, LatencySummary]:

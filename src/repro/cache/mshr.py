@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.telemetry.events import CAT_MSHR, PH_COUNTER, TraceEvent
+
 
 @dataclass
 class MSHREntry:
@@ -30,6 +32,17 @@ class MSHRFile:
         self._entries: Dict[int, MSHREntry] = {}
         self.primary_misses = 0
         self.secondary_misses = 0
+        # Telemetry (repro.telemetry): None = disabled = free.
+        self._trace = None
+        self.trace_name = "mshrs"
+
+    def _emit_occupancy(self, now: int, what: str, line: int) -> None:
+        self._trace.emit(TraceEvent(
+            ts=now, phase=PH_COUNTER, category=CAT_MSHR,
+            name=self.trace_name, track=self.trace_name,
+            args={"outstanding": len(self._entries), "event": what,
+                  "line": line},
+        ))
 
     def lookup(self, line: int) -> Optional[MSHREntry]:
         return self._entries.get(line)
@@ -38,7 +51,9 @@ class MSHRFile:
         """True when a miss to ``line`` can proceed (coalesce or allocate)."""
         return line in self._entries or len(self._entries) < self.capacity
 
-    def allocate(self, line: int, seq: int, is_prefetch: bool = False) -> bool:
+    def allocate(
+        self, line: int, seq: int, is_prefetch: bool = False, now: int = -1
+    ) -> bool:
         """Register a miss.  Returns True for a primary miss (issue to L2),
         False for a secondary miss (coalesced, nothing to issue).
 
@@ -58,14 +73,18 @@ class MSHRFile:
             line=line, primary_seq=seq, is_prefetch=is_prefetch
         )
         self.primary_misses += 1
+        if self._trace is not None and now >= 0:
+            self._emit_occupancy(now, "allocate", line)
         return True
 
-    def complete(self, line: int) -> "MSHREntry":
+    def complete(self, line: int, now: int = -1) -> "MSHREntry":
         """Retire the MSHR for ``line``; returns the retired entry (its
         ``primary_seq`` + ``waiters`` are every waiting load seq)."""
         entry = self._entries.pop(line, None)
         if entry is None:
             raise KeyError(f"no MSHR outstanding for line {line:#x}")
+        if self._trace is not None and now >= 0:
+            self._emit_occupancy(now, "retire", line)
         return entry
 
     @property

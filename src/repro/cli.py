@@ -16,6 +16,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import time
 from typing import Iterator, List, Optional
 
 from repro.common.config import VPCAllocation, baseline_config
@@ -74,6 +75,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="VPC arbiter fairness policy (WFQ or SFQ)")
     parser.add_argument("--prefetch", action="store_true",
                         help="enable the next-line prefetcher")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="capture a telemetry trace: .jsonl streams raw "
+                             "events; anything else writes Chrome/Perfetto "
+                             "trace_event JSON (open in ui.perfetto.dev)")
+    parser.add_argument("--histograms", action="store_true",
+                        help="print per-thread/per-stage latency histograms "
+                             "(implied tracing, no file needed)")
+    parser.add_argument("--manifest", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="write a run manifest (config hash, git SHA, "
+                             "kernel, wall time) to PATH, or print it when "
+                             "no PATH is given")
     return parser
 
 
@@ -100,12 +113,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         resolve_workload(name, tid)
         for tid, name in enumerate(args.workloads)
     ]
+
+    telemetry = None
+    ring = jsonl = histograms = None
+    if args.trace or args.histograms:
+        from repro.telemetry import (
+            JsonlSink,
+            LatencyHistogramSink,
+            RingBufferSink,
+            TelemetryBus,
+        )
+        telemetry = TelemetryBus()
+        if args.trace:
+            if args.trace.endswith(".jsonl"):
+                jsonl = telemetry.attach(JsonlSink(args.trace))
+            else:
+                ring = telemetry.attach(RingBufferSink())
+        if args.histograms:
+            histograms = telemetry.attach(LatencyHistogramSink())
+
     system = CMPSystem(
         config, traces,
         capacity_policy=args.capacity,
         vpc_selection=args.selection,
+        telemetry=telemetry,
     )
+    started = time.monotonic()
     result = run_simulation(system, warmup=args.warmup, measure=args.cycles)
+    wall_time = time.monotonic() - started
 
     print(f"{n_threads}-thread CMP, {args.banks} banks, arbiter={args.arbiter}"
           f" ({args.cycles} measured cycles after {args.warmup} warmup)")
@@ -120,6 +155,34 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"({result.write_fraction:.0%} writes), "
           f"gathering rate {result.gathering_rate:.0%}, "
           f"miss rate {result.l2_miss_rate:.0%}")
+
+    if histograms is not None:
+        print("latency histograms (cycles):")
+        print(histograms.format_report())
+    if ring is not None:
+        from repro.telemetry import write_chrome_trace
+        count = write_chrome_trace(args.trace, ring)
+        print(f"  trace: {count} events -> {args.trace} "
+              "(open in ui.perfetto.dev)")
+    if jsonl is not None:
+        jsonl.close()
+        print(f"  trace: events streamed -> {args.trace}")
+    if args.manifest is not None:
+        from repro.telemetry import RunManifest
+        manifest = RunManifest.collect(
+            config=config, kernel=system.kernel,
+            wall_time_s=round(wall_time, 3),
+            workloads=list(args.workloads),
+            warmup=args.warmup, cycles=args.cycles,
+            skipped_cycles=system.skipped_cycles,
+            skips_taken=system.skips_taken,
+        )
+        if args.manifest == "-":
+            import json
+            print(json.dumps(manifest.to_dict(), indent=2, default=repr))
+        else:
+            manifest.write(args.manifest)
+            print(f"  manifest -> {args.manifest}")
     return 0
 
 

@@ -2,10 +2,12 @@
 
 System software that programs the VPC control registers wants to *know*
 when a guarantee was not delivered (a hardware bug, an over-allocation,
-or an unaccounted preemption effect).  :class:`QoSMonitor` watches every
-VPC arbiter in a live system and, per monitoring window, checks the
-fair-queuing service bound for each thread that stayed backlogged
-through the window:
+or an unaccounted preemption effect).  :class:`QoSMonitor` is a
+telemetry-bus subscriber (see docs/ARCHITECTURE.md "Observability"): it
+watches the ``arbiter`` event stream of a live system — every enqueue
+and every grant, with pending counts and granted service riding on the
+events — and, per monitoring window, checks the fair-queuing service
+bound for each thread that stayed backlogged through the window:
 
     service >= phi * window - allowance
 
@@ -14,16 +16,22 @@ where the allowance covers non-preemptibility and window-edge effects
 one EDF scheduling lag).  Windows where the bound fails are recorded as
 :class:`ServiceViolation`s.
 
-Use :func:`run_monitored` to drive a system with a monitor attached.
+Because the audit is event-driven it works under the skip-ahead event
+kernel (no per-cycle polling); windows close lazily as event timestamps
+cross their boundaries, and :meth:`QoSMonitor.finish` flushes the
+windows a run's tail spans.  Use :func:`run_monitored` to drive a
+system with a monitor attached.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.core.vpc_arbiter import VPCArbiter
 from repro.system.cmp import CMPSystem
+from repro.telemetry import TelemetryBus
+from repro.telemetry.events import CAT_ARBITER, TraceEvent
 
 
 @dataclass(frozen=True)
@@ -39,7 +47,7 @@ class ServiceViolation:
 
 
 class QoSMonitor:
-    """Watches the VPC arbiters of a :class:`CMPSystem`."""
+    """Watches the VPC arbiters of a :class:`CMPSystem` over its bus."""
 
     def __init__(self, system: CMPSystem, window: int = 2_000) -> None:
         if window < 1:
@@ -50,40 +58,80 @@ class QoSMonitor:
         self.window = window
         self.violations: List[ServiceViolation] = []
         self.windows_checked = 0
-        self._arbiters = []
-        for resource, arbiters in system._vpc_arbiters.items():
-            for index, arbiter in enumerate(arbiters):
-                self._arbiters.append((f"bank{index}.{resource}", arbiter))
-        self._window_start = system.cycle
-        self._service_snapshot = [
-            list(arbiter.service_granted) for _, arbiter in self._arbiters
-        ]
-        self._always_backlogged = [
-            [True] * system.config.n_threads for _ in self._arbiters
-        ]
+        self._arbiters: List[Tuple[str, VPCArbiter]] = []
+        for arbiters in system._vpc_arbiters.values():
+            for arbiter in arbiters:
+                self._arbiters.append((arbiter.trace_name, arbiter))
+        # Subscribe on the system's bus (creating one turns the
+        # instrumentation on; until then the arbiters emit nothing).
+        if system.telemetry is None:
+            system.attach_telemetry(TelemetryBus())
+        system.telemetry.attach(self)
 
-    def tick(self, now: int) -> None:
-        """Call once per simulated cycle (after ``system.step()``)."""
-        for index, (_, arbiter) in enumerate(self._arbiters):
-            flags = self._always_backlogged[index]
-            for thread_id in range(self.system.config.n_threads):
-                if flags[thread_id] and arbiter.pending_for(thread_id) == 0:
-                    flags[thread_id] = False
-        if now - self._window_start + 1 >= self.window:
-            self._close_window(now + 1)
+        n = system.config.n_threads
+        self._window_start = system.cycle
+        # Live pending counts, updated from event args; seeded from the
+        # arbiters since requests may already be in flight at attach.
+        self._pending: Dict[str, List[int]] = {
+            name: [arbiter.pending_for(tid) for tid in range(n)]
+            for name, arbiter in self._arbiters
+        }
+        self._granted: Dict[str, List[int]] = {}
+        self._backlogged: Dict[str, List[bool]] = {}
+        self._open_window()
+
+    def _open_window(self) -> None:
+        self._granted = {name: [0] * self.system.config.n_threads
+                         for name, _ in self._arbiters}
+        # A thread idle when the window opens is exempt from the bound,
+        # exactly like the per-cycle poller's first observation was.
+        self._backlogged = {
+            name: [count > 0 for count in counts]
+            for name, counts in self._pending.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # TraceSink protocol.
+    # ------------------------------------------------------------------ #
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.category != CAT_ARBITER:
+            return
+        boundary = self._window_start + self.window
+        while event.ts >= boundary:
+            self._close_window(boundary)
+            boundary = self._window_start + self.window
+        track = event.track
+        pending = self._pending.get(track)
+        if pending is None:
+            return  # an arbiter this monitor was not built for
+        tid = event.tid
+        pending[tid] = event.args["pending"]
+        if event.name == "grant":
+            self._granted[track][tid] += event.dur
+            if pending[tid] == 0:
+                self._backlogged[track][tid] = False
+
+    def finish(self, end: int) -> None:
+        """Flush every window that closed at or before ``end``."""
+        while self._window_start + self.window <= end:
+            self._close_window(self._window_start + self.window)
+
+    # ------------------------------------------------------------------ #
+    # Window audit.
+    # ------------------------------------------------------------------ #
 
     def _close_window(self, end: int) -> None:
         span = end - self._window_start
         self.windows_checked += 1
-        for index, (name, arbiter) in enumerate(self._arbiters):
+        for name, arbiter in self._arbiters:
             max_service = 2 * arbiter.service_latency
+            backlogged = self._backlogged[name]
+            granted_row = self._granted[name]
             for thread_id, share in enumerate(arbiter.shares):
-                if share <= 0 or not self._always_backlogged[index][thread_id]:
+                if share <= 0 or not backlogged[thread_id]:
                     continue
-                granted = (
-                    arbiter.service_granted[thread_id]
-                    - self._service_snapshot[index][thread_id]
-                )
+                granted = granted_row[thread_id]
                 # 3x max service: a grant straddling each window edge
                 # plus one EDF/non-preemption lag inside the window.
                 guaranteed = share * span - 3 * max_service
@@ -99,12 +147,7 @@ class QoSMonitor:
                         )
                     )
         self._window_start = end
-        self._service_snapshot = [
-            list(arbiter.service_granted) for _, arbiter in self._arbiters
-        ]
-        self._always_backlogged = [
-            [True] * self.system.config.n_threads for _ in self._arbiters
-        ]
+        self._open_window()
 
     @property
     def clean(self) -> bool:
@@ -115,8 +158,6 @@ def run_monitored(
     system: CMPSystem, cycles: int, monitor: QoSMonitor
 ) -> QoSMonitor:
     """Advance ``system`` by ``cycles`` with the monitor attached."""
-    for _ in range(cycles):
-        now = system.cycle
-        system.step()
-        monitor.tick(now)
+    system.run(cycles)
+    monitor.finish(system.cycle)
     return monitor

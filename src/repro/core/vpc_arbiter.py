@@ -39,6 +39,7 @@ from collections import deque
 from typing import Deque, List, Optional, Sequence
 
 from repro.core.arbiter import Arbiter, ArbiterEntry
+from repro.telemetry.events import CAT_ARBITER, PH_INSTANT, TraceEvent
 
 
 class VPCArbiter(Arbiter):
@@ -87,6 +88,9 @@ class VPCArbiter(Arbiter):
         self._size = 0  # incremental total; len() sits on the bank hot path
         # Instrumentation: real service cycles granted per thread.
         self.service_granted: List[int] = [0] * n_threads
+        # Telemetry (repro.telemetry): None = disabled = free.
+        self._trace = None
+        self.trace_name = "arbiter"
 
     # ------------------------------------------------------------------ #
     # Control-register interface (software-visible, Section 4 intro).
@@ -127,6 +131,13 @@ class VPCArbiter(Arbiter):
             self._r_s[tid] = float(now)  # Eq. 6
         self._buffers[tid].append(entry)
         self._size += 1
+        if self._trace is not None:
+            self._trace.emit(TraceEvent(
+                ts=now, phase=PH_INSTANT, category=CAT_ARBITER,
+                name="enqueue", track=self.trace_name, tid=tid,
+                args={"pending": len(self._buffers[tid]),
+                      "vstart": self._r_s[tid]},
+            ))
 
     def select(self, now: int) -> Optional[ArbiterEntry]:
         best_tid = -1
@@ -161,6 +172,14 @@ class VPCArbiter(Arbiter):
             best_entry.service_quanta * self.service_latency
         )
         self.grants += 1
+        if self._trace is not None:
+            self._trace.emit(TraceEvent(
+                ts=now, phase=PH_INSTANT, category=CAT_ARBITER,
+                name="grant", track=self.trace_name, tid=best_tid,
+                dur=best_entry.service_quanta * self.service_latency,
+                args={"pending": len(self._buffers[best_tid]),
+                      "vfinish": best_finish},
+            ))
         return best_entry
 
     def _pick_within_thread(self, buffer: Deque[ArbiterEntry]) -> ArbiterEntry:

@@ -139,7 +139,7 @@ class CoreModel:
             self._stash((LOAD, addr, dependent))
             return False
         seq = self.dispatched
-        primary = self.mshrs.allocate(line, seq)
+        primary = self.mshrs.allocate(line, seq, now=now)
         self._track_load(seq)
         self.dispatched += 1
         if primary:
@@ -163,7 +163,7 @@ class CoreModel:
                 continue
             if line in self.mshrs or not self.mshrs.can_allocate(line):
                 continue
-            self.mshrs.allocate(line, seq=-1, is_prefetch=True)
+            self.mshrs.allocate(line, seq=-1, is_prefetch=True, now=now)
             request = make_request(
                 self.core_id, addr, AccessType.READ, self._line_size, -1, now
             )
@@ -277,7 +277,7 @@ class CoreModel:
                 raise RuntimeError("store ack with no store outstanding")
             self._outstanding_stores -= 1
             return
-        entry = self.mshrs.complete(request.line)
+        entry = self.mshrs.complete(request.line, now=now)
         if entry.is_prefetch and entry.demand_joined:
             self.prefetches_useful += 1
         for seq in [entry.primary_seq] + entry.waiters:

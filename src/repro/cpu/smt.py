@@ -175,7 +175,7 @@ class SMTCoreModel:
         seq = ctx.dispatched
         # Coalescing can cross hardware threads, but a context only
         # waits on its own sequence numbers.
-        primary = self.mshrs.allocate(line, self._tagged_seq(ctx, seq))
+        primary = self.mshrs.allocate(line, self._tagged_seq(ctx, seq), now=now)
         if primary:
             self._mshr_in_use[ctx.thread_id] += 1
         ctx.track_load(seq)
@@ -283,7 +283,7 @@ class SMTCoreModel:
                 raise RuntimeError("store ack with no store outstanding")
             ctx.outstanding_stores -= 1
             return
-        entry = self.mshrs.complete(request.line)
+        entry = self.mshrs.complete(request.line, now=now)
         primary_owner = self.thread_ids[entry.primary_seq % 64]
         self._mshr_in_use[primary_owner] -= 1
         for tagged in [entry.primary_seq] + entry.waiters:

@@ -10,7 +10,7 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -22,6 +22,8 @@ class ExperimentResult:
     headers: List[str]
     rows: List[Sequence]
     notes: List[str] = field(default_factory=list)
+    # Provenance (repro.telemetry.RunManifest), attached by the runner.
+    manifest: Optional[object] = None
 
     def cell(self, row: int, column: str):
         return self.rows[row][self.headers.index(column)]

@@ -30,7 +30,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -38,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.common.config import SystemConfig
 from repro.system.cmp import CMPSystem
 from repro.system.simulator import SimulationResult, run_simulation
+from repro.telemetry.events import CAT_RUN, PH_COMPLETE, PH_INSTANT, TraceEvent
 
 # Bump whenever a change alters simulation results; stale entries are
 # then simply never looked up again.
@@ -46,22 +48,44 @@ CACHE_VERSION = 1
 # Module-level execution policy, set once from the CLI via configure().
 _jobs = 1
 _cache_enabled = True
+# Optional observers (repro.telemetry): a ProgressReporter that gets a
+# callback per completed point, and a TelemetryBus that receives
+# wall-clock orchestration events.  Unlike jobs/cache these are RESET by
+# every configure() call, so test fixtures and benchmark setup that pin
+# the execution policy also restore "no observers".
+_progress = None
+_telemetry = None
 
 #: hits/misses observability (tests assert on this; reset via configure).
 cache_stats: Dict[str, int] = {"hits": 0, "misses": 0}
 
 
-def configure(jobs: Optional[int] = None, cache: Optional[bool] = None) -> None:
+def configure(
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    progress=None,
+    telemetry=None,
+) -> None:
     """Set the process-wide execution policy (``jobs=0`` → all CPUs)."""
-    global _jobs, _cache_enabled
+    global _jobs, _cache_enabled, _progress, _telemetry
     if jobs is not None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
         _jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
     if cache is not None:
         _cache_enabled = cache
+    _progress = progress
+    _telemetry = telemetry
     cache_stats["hits"] = 0
     cache_stats["misses"] = 0
+
+
+def cache_summary() -> Optional[str]:
+    """One-line hit/miss summary of the run so far (None if untouched)."""
+    if not (cache_stats["hits"] or cache_stats["misses"]):
+        return None
+    return (f"target cache: {cache_stats['hits']} hits, "
+            f"{cache_stats['misses']} misses ({cache_dir()})")
 
 
 def configured_jobs() -> int:
@@ -188,28 +212,69 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
 
     Cached results are returned without simulating; the remainder run on
     a process pool when more than one job is configured (and there is
-    more than one point to run), inline otherwise.
+    more than one point to run), inline otherwise.  Completions are
+    consumed as they land (not in submission order) so the configured
+    progress reporter ticks live; result order is positional and
+    unaffected.  Orchestration telemetry (``CAT_RUN``) is wall-clock
+    microseconds from batch start — a different time base from the
+    simulation's cycle-stamped events, kept apart by track name.
     """
     results: List[Optional[SimulationResult]] = [None] * len(points)
     todo: List[int] = []
+    progress = _progress
+    telemetry = _telemetry
+    batch_t0 = time.monotonic()
+
+    def wall_us() -> int:
+        return int((time.monotonic() - batch_t0) * 1e6)
+
+    if progress is not None:
+        progress.begin(len(points))
     for index, point in enumerate(points):
         if _cache_enabled and point.cacheable:
             cached = _cache_load(point)
             if cached is not None:
                 cache_stats["hits"] += 1
                 results[index] = cached
+                if telemetry is not None:
+                    telemetry.emit(TraceEvent(
+                        ts=wall_us(), phase=PH_INSTANT, category=CAT_RUN,
+                        name="cache-hit", track="run.points",
+                        args={"point": index},
+                    ))
+                if progress is not None:
+                    progress.point_done(cached=True)
                 continue
             cache_stats["misses"] += 1
         todo.append(index)
 
-    if len(todo) > 1 and _jobs > 1:
-        with ProcessPoolExecutor(max_workers=min(_jobs, len(todo))) as pool:
-            computed = list(pool.map(run_point, [points[i] for i in todo]))
-    else:
-        computed = [run_point(points[i]) for i in todo]
-
-    for index, result in zip(todo, computed):
+    def finish(index: int, result: SimulationResult, started_us: int) -> None:
         results[index] = result
         if _cache_enabled and points[index].cacheable:
             _cache_store(points[index], result)
+        if telemetry is not None:
+            telemetry.emit(TraceEvent(
+                ts=started_us, phase=PH_COMPLETE, category=CAT_RUN,
+                name=f"point{index}", track="run.points",
+                dur=max(1, wall_us() - started_us),
+                args={"point": index},
+            ))
+        if progress is not None:
+            progress.point_done(cached=False)
+
+    if len(todo) > 1 and _jobs > 1:
+        with ProcessPoolExecutor(max_workers=min(_jobs, len(todo))) as pool:
+            pending = {}
+            for index in todo:
+                pending[pool.submit(run_point, points[index])] = (
+                    index, wall_us()
+                )
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, started_us = pending.pop(future)
+                    finish(index, future.result(), started_us)
+    else:
+        for index in todo:
+            finish(index, run_point(points[index]), wall_us())
     return results  # type: ignore[return-value]

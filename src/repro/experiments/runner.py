@@ -5,7 +5,11 @@ ablation-*), or ``all``.  ``--fast`` runs the reduced-fidelity variant
 used by the test suite.  ``--jobs N`` fans independent simulation
 points across N worker processes (0 = all CPUs); ``--no-cache``
 disables the on-disk target-IPC cache (see
-:mod:`repro.experiments.parallel`).
+:mod:`repro.experiments.parallel`).  Observability (see
+docs/ARCHITECTURE.md): ``--progress`` reports per-point completion and
+ETA on stderr, ``--trace PATH`` captures the runner's orchestration
+events as a Chrome/Perfetto trace, and ``--manifest [DIR]`` writes each
+experiment's provenance record next to the output.
 """
 
 from __future__ import annotations
@@ -13,18 +17,34 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments import parallel
 from repro.experiments.base import REGISTRY, ExperimentResult
+from repro.telemetry import RunManifest
 
 
 def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
+    """Run one experiment; the result carries a provenance manifest."""
     if exp_id not in REGISTRY:
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {sorted(REGISTRY)}"
         )
-    return REGISTRY[exp_id](fast=fast)
+    cache_before = dict(parallel.cache_stats)
+    started = time.monotonic()
+    result = REGISTRY[exp_id](fast=fast)
+    result.manifest = RunManifest.collect(
+        kernel="event",
+        cache={
+            key: parallel.cache_stats[key] - cache_before[key]
+            for key in ("hits", "misses")
+        },
+        wall_time_s=round(time.monotonic() - started, 3),
+        exp_id=exp_id,
+        fast=fast,
+    )
+    return result
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -45,8 +65,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "points (0 = all CPUs; default 1, serial)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk target-IPC result cache")
+    parser.add_argument("--progress", action="store_true",
+                        help="report per-point progress and ETA on stderr")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write the runner's orchestration events as "
+                             "Chrome/Perfetto trace_event JSON")
+    parser.add_argument("--manifest", nargs="?", const=".", default=None,
+                        metavar="DIR",
+                        help="write <exp_id>.manifest.json per experiment "
+                             "into DIR (default: current directory)")
     args = parser.parse_args(argv)
-    parallel.configure(jobs=args.jobs, cache=not args.no_cache)
+
+    progress = ring = None
+    telemetry = None
+    if args.progress:
+        from repro.telemetry import ProgressReporter
+        progress = ProgressReporter()
+    if args.trace:
+        from repro.telemetry import RingBufferSink, TelemetryBus
+        telemetry = TelemetryBus()
+        ring = telemetry.attach(RingBufferSink())
+    parallel.configure(jobs=args.jobs, cache=not args.no_cache,
+                       progress=progress, telemetry=telemetry)
 
     if args.list or not args.experiments:
         for exp_id in sorted(REGISTRY):
@@ -66,10 +106,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(result.format_table())
         print(f"({time.time() - started:.1f}s)\n")
-    stats = parallel.cache_stats
-    if stats["hits"] or stats["misses"]:
-        print(f"target cache: {stats['hits']} hits, "
-              f"{stats['misses']} misses ({parallel.cache_dir()})")
+        if args.manifest is not None and result.manifest is not None:
+            path = Path(args.manifest) / f"{exp_id}.manifest.json"
+            result.manifest.write(path)
+            print(f"manifest -> {path}")
+    summary = parallel.cache_summary()
+    if summary:
+        print(summary)
+    if ring is not None:
+        from repro.telemetry import write_chrome_trace
+        count = write_chrome_trace(args.trace, ring)
+        print(f"trace: {count} events -> {args.trace} "
+              "(open in ui.perfetto.dev)")
     return 0
 
 

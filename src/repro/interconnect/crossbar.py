@@ -15,6 +15,7 @@ from typing import Iterator, List
 from repro.common.config import CrossbarConfig
 from repro.common.latch import NEVER, DelayLine
 from repro.common.records import MemoryRequest
+from repro.telemetry.events import CAT_XBAR, PH_COMPLETE, TraceEvent
 
 
 class Crossbar:
@@ -30,14 +31,30 @@ class Crossbar:
         self._responses: List[DelayLine] = [
             DelayLine(config.response_latency) for _ in range(n_cores)
         ]
+        # Telemetry (repro.telemetry): None = disabled = free.
+        self._trace = None
 
     def send_request(self, core_id: int, request: MemoryRequest, now: int) -> None:
+        if self._trace is not None:
+            self._trace.emit(TraceEvent(
+                ts=now, phase=PH_COMPLETE, category=CAT_XBAR,
+                name="xbar-req", track=f"t{request.thread_id}",
+                tid=request.thread_id, dur=self.config.latency,
+                args={"req": request.req_id},
+            ))
         self._requests[core_id].push(now, request)
 
     def deliver_requests(self, core_id: int, now: int) -> Iterator[MemoryRequest]:
         return self._requests[core_id].pop_ready(now)
 
     def send_response(self, core_id: int, request: MemoryRequest, now: int) -> None:
+        if self._trace is not None:
+            self._trace.emit(TraceEvent(
+                ts=now, phase=PH_COMPLETE, category=CAT_XBAR,
+                name="xbar-resp", track=f"t{request.thread_id}",
+                tid=request.thread_id, dur=self.config.response_latency,
+                args={"req": request.req_id},
+            ))
         self._responses[core_id].push(now, request)
 
     def deliver_responses(self, core_id: int, now: int) -> Iterator[MemoryRequest]:

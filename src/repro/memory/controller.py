@@ -56,6 +56,14 @@ class MemoryController:
                 for _ in range(n_threads * config.channels_per_thread)
             ]
 
+    def attach_trace(self, bus) -> None:
+        """Point every channel at the telemetry bus (repro.telemetry)."""
+        for index, channel in enumerate(self.channels):
+            channel._trace = bus
+            if self._shared is None:
+                channel.trace_name = f"dram.ch{index}"
+                channel.trace_tid = index // self.config.channels_per_thread
+
     def _channel(self, thread_id: int) -> DRAMChannel:
         if not 0 <= thread_id < self.n_threads:
             raise ValueError(f"thread {thread_id} out of range")

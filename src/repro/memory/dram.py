@@ -19,6 +19,7 @@ from typing import Callable, Deque, Optional
 
 from repro.common.config import MemoryConfig
 from repro.common.latch import NEVER
+from repro.telemetry.events import CAT_DRAM, PH_COMPLETE, TraceEvent
 
 
 @dataclass
@@ -41,6 +42,10 @@ class DRAMChannel:
         self.reads_done = 0
         self.writes_done = 0
         self.bus_busy_cycles = 0
+        # Telemetry (repro.telemetry): None = disabled = free.
+        self._trace = None
+        self.trace_name = "dram"
+        self.trace_tid = -1
 
     # ------------------------------------------------------------------ #
     # Admission (capacity checks model the controller's buffers).
@@ -100,6 +105,14 @@ class DRAMChannel:
         self._bank_free[bank] = data_end + cfg.t_rp * d
         self._bus_free = data_end
         self.bus_busy_cycles += cfg.burst_cycles * d
+        if self._trace is not None:
+            self._trace.emit(TraceEvent(
+                ts=data_start, phase=PH_COMPLETE, category=CAT_DRAM,
+                name="write" if is_write else "read",
+                track=self.trace_name, tid=self.trace_tid,
+                dur=cfg.burst_cycles * d,
+                args={"line": access.line, "bank": bank},
+            ))
         if access.notify is not None:
             access.notify(data_end)
         return True

@@ -27,6 +27,7 @@ from typing import Callable, Deque, List, Optional, Sequence
 
 from repro.common.config import MemoryConfig
 from repro.common.latch import NEVER
+from repro.telemetry.events import CAT_DRAM, PH_COMPLETE, TraceEvent
 
 
 @dataclass
@@ -76,6 +77,9 @@ class SharedDRAMChannel:
         self.reads_done = 0
         self.writes_done = 0
         self.service_granted = [0] * n_threads
+        # Telemetry (repro.telemetry): None = disabled = free.
+        self._trace = None
+        self.trace_name = "dram.shared"
 
     # ------------------------------------------------------------------ #
     # Admission: the per-thread transaction/write buffers still apply.
@@ -191,6 +195,14 @@ class SharedDRAMChannel:
         data_end = data_start + cfg.burst_cycles * d
         self._bank_free[access.line % self.n_banks] = data_end + cfg.t_rp * d
         self._bus_free = data_end
+        if self._trace is not None:
+            self._trace.emit(TraceEvent(
+                ts=data_start, phase=PH_COMPLETE, category=CAT_DRAM,
+                name="write" if access.is_write else "read",
+                track=self.trace_name, tid=access.thread_id,
+                dur=cfg.burst_cycles * d,
+                args={"line": access.line},
+            ))
         if access.notify is not None:
             access.notify(data_end)
         return True

@@ -33,6 +33,8 @@ from repro.cpu.isa import TraceItem
 from repro.interconnect.crossbar import Crossbar
 from repro.memory.controller import MemoryController
 from repro.system.kernel import KERNELS
+from repro.telemetry import RequestLogSink, TelemetryBus
+from repro.telemetry.events import CAT_REQUEST, PH_END, TraceEvent
 
 
 class CMPSystem:
@@ -48,6 +50,7 @@ class CMPSystem:
         record_requests: bool = False,
         smt_degree: int = 1,
         kernel: str = "event",
+        telemetry: Optional[TelemetryBus] = None,
     ) -> None:
         config.validate()
         if len(traces) != config.n_threads:
@@ -61,9 +64,12 @@ class CMPSystem:
         self.config = config
         self.kernel = kernel
         self.cycle = 0
-        # Cycles the event kernel fast-forwarded instead of stepping
-        # (observability; always 0 under the cycle kernel).
+        # Skip-ahead accounting (observability; all 0 under the cycle
+        # kernel): cycles fast-forwarded, quiescence scans attempted,
+        # and scans that actually skipped at least one cycle.
         self.skipped_cycles = 0
+        self.skip_attempts = 0
+        self.skips_taken = 0
         # Event-kernel profitability adapter state (see kernel.run_event):
         # epochs left to sleep scanning, and the next sleep length.
         self._skip_sleep = 0
@@ -71,9 +77,10 @@ class CMPSystem:
         self.intra_thread_row = intra_thread_row
         self.vpc_selection = vpc_selection
         self.record_requests = record_requests
-        # Completed-request log for repro.analysis (loads only; store
-        # acks carry no interesting timing).
-        self.request_log: List[MemoryRequest] = []
+        # Telemetry is attached at the end of __init__ (components must
+        # exist first); the request log is a bus subscriber.
+        self.telemetry: Optional[TelemetryBus] = None
+        self._request_log_sink: Optional[RequestLogSink] = None
 
         self.registers = VPCControlRegisters(config.n_threads)
         self.registers.load_allocation(
@@ -158,6 +165,49 @@ class CMPSystem:
         # Let software share-register writes reprogram the live arbiters.
         self.registers.subscribe(self._on_register_write)
 
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+        if record_requests:
+            # The legacy request log rides the telemetry bus like any
+            # other subscriber (a private bus if none was supplied).
+            if self.telemetry is None:
+                self.attach_telemetry(TelemetryBus())
+            self._request_log_sink = self.telemetry.attach(RequestLogSink())
+
+    # ------------------------------------------------------------------ #
+    # Telemetry.
+    # ------------------------------------------------------------------ #
+
+    def attach_telemetry(self, bus: TelemetryBus) -> TelemetryBus:
+        """Enable tracing: point every instrumented component at ``bus``.
+
+        With no bus attached every instrumentation point is a single
+        ``is not None`` test — the zero-overhead-when-disabled contract
+        (docs/ARCHITECTURE.md "Observability").
+        """
+        self.telemetry = bus
+        for arbiters in self._vpc_arbiters.values():
+            for arbiter in arbiters:
+                arbiter._trace = bus
+        for bank in self.banks:
+            bank._trace = bus
+        self.crossbar._trace = bus
+        self.memory.attach_trace(bus)
+        for index, core in enumerate(self.cores):
+            mshrs = getattr(core, "mshrs", None)
+            if mshrs is not None:
+                mshrs._trace = bus
+                mshrs.trace_name = f"core{index}.mshrs"
+        return bus
+
+    @property
+    def request_log(self) -> List[MemoryRequest]:
+        """Completed demand+prefetch loads, in retirement order (only
+        populated with ``record_requests=True``; live list, so callers
+        may ``clear()`` it between measurement intervals)."""
+        sink = self._request_log_sink
+        return sink.requests if sink is not None else []
+
     # ------------------------------------------------------------------ #
     # Component factories and wiring callbacks.
     # ------------------------------------------------------------------ #
@@ -184,6 +234,9 @@ class CMPSystem:
             intra_thread_row=self.intra_thread_row,
             selection=self.vpc_selection,
         )
+        # Telemetry track name matches the QoS monitor's historical
+        # "bank<index>.<resource>" naming (index within the resource).
+        arbiter.trace_name = f"bank{len(self._vpc_arbiters[resource])}.{resource}"
         self._vpc_arbiters[resource].append(arbiter)
         return arbiter
 
@@ -202,8 +255,18 @@ class CMPSystem:
         self.crossbar.send_request(core_id, request, now)
 
     def _respond(self, request: MemoryRequest, now: int) -> None:
-        if self.record_requests and request.is_read:
-            self.request_log.append(request)
+        # Retirement point: loads at the critical word, stores at the
+        # gather-buffer ACK — exactly once per accepted request, closing
+        # the span the bank opened in ``accept``.
+        if self.telemetry is not None:
+            self.telemetry.emit(TraceEvent(
+                ts=now, phase=PH_END, category=CAT_REQUEST,
+                name="store" if request.is_write else
+                     ("prefetch" if request.is_prefetch else "load"),
+                track=f"t{request.thread_id}", tid=request.thread_id,
+                id=request.req_id,
+                args={"request": request},
+            ))
         self.crossbar.send_response(request.thread_id, request, now)
 
     # ------------------------------------------------------------------ #

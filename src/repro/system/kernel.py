@@ -32,6 +32,7 @@ effect goes unaccounted (the cores' L1 retry probes are replayed by
 from __future__ import annotations
 
 from repro.common.latch import NEVER
+from repro.telemetry.events import CAT_KERNEL, PH_INSTANT, TraceEvent
 
 
 def run_cycle(system, cycles: int) -> None:
@@ -104,11 +105,14 @@ def _run_scanning(system, end: int) -> int:
     crossbar = system.crossbar
     memory = system.memory
     l3 = system.l3
+    trace = system.telemetry
     n_cores = len(cores)
     n_banks = len(banks)
     hot_core = 0  # the core that most recently vetoed an attempt
     hot_bank = 0  # the bank that most recently vetoed an attempt
     fails = 0
+    attempts = 0  # component scans reached (all cores quiescent)
+    taken = 0     # scans that actually fast-forwarded
     while system.cycle < end:
         now = system.cycle
         quiet = True
@@ -126,6 +130,7 @@ def _run_scanning(system, end: int) -> int:
         # Every core is provably stalled until a component acts; jump to
         # the earliest component event.  Scan order is cheapest-first and
         # most-likely-veto-first so failed scans stay near-free.
+        attempts += 1
         target = end
         scan_ok = True
         for i in range(n_banks):
@@ -166,6 +171,16 @@ def _run_scanning(system, end: int) -> int:
             core.fast_forward(delta, now)
         system.cycle = target
         system.skipped_cycles += delta
+        taken += 1
+        if trace is not None:
+            trace.emit(TraceEvent(
+                ts=now, phase=PH_INSTANT, category=CAT_KERNEL,
+                name="skip", track="kernel", dur=delta,
+                args={"to": target,
+                      "skipped_total": system.skipped_cycles},
+            ))
+    system.skip_attempts += attempts
+    system.skips_taken += taken
     return fails
 
 

@@ -1,0 +1,53 @@
+"""Unified simulation telemetry: event bus, sinks, and exporters.
+
+See docs/ARCHITECTURE.md "Observability" for the design; the short
+version: components emit :class:`TraceEvent`s onto a
+:class:`TelemetryBus` only when one is attached (``None`` check on the
+hot path, so disabled tracing is free), and everything else —
+Perfetto export, latency histograms, the request log, the QoS monitor
+— is a :class:`TraceSink` subscriber.
+"""
+
+from .bus import (
+    CategoryFilterSink,
+    JsonlSink,
+    RequestLogSink,
+    RingBufferSink,
+    TelemetryBus,
+    TraceSink,
+)
+from .events import (
+    CAT_ARBITER,
+    CAT_DRAM,
+    CAT_KERNEL,
+    CAT_MSHR,
+    CAT_REQUEST,
+    CAT_RESOURCE,
+    CAT_RUN,
+    CAT_SGB,
+    CAT_XBAR,
+    PH_BEGIN,
+    PH_COMPLETE,
+    PH_COUNTER,
+    PH_END,
+    PH_INSTANT,
+    TraceEvent,
+)
+from .histograms import Histogram, LatencyHistogramSink
+from .manifest import RunManifest, config_hash, git_sha
+from .perfetto import chrome_trace, write_chrome_trace
+from .progress import ProgressReporter
+from .validate import validate_chrome_trace
+
+__all__ = [
+    "TraceEvent", "TraceSink", "TelemetryBus",
+    "RingBufferSink", "JsonlSink", "RequestLogSink", "CategoryFilterSink",
+    "PH_BEGIN", "PH_END", "PH_COMPLETE", "PH_INSTANT", "PH_COUNTER",
+    "CAT_REQUEST", "CAT_RESOURCE", "CAT_ARBITER", "CAT_KERNEL",
+    "CAT_MSHR", "CAT_SGB", "CAT_DRAM", "CAT_XBAR", "CAT_RUN",
+    "Histogram", "LatencyHistogramSink",
+    "RunManifest", "config_hash", "git_sha",
+    "chrome_trace", "write_chrome_trace",
+    "ProgressReporter",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,61 @@
+"""Live progress reporting for the parallel experiment runner.
+
+A :class:`ProgressReporter` receives per-point completion callbacks
+from ``repro.experiments.parallel.run_points`` and prints one status
+line per event: points done / total, percentage, smoothed ETA from the
+observed completion rate, and the result-cache hit rate so far.  It
+writes to any text stream (stderr by default) and keeps no other state,
+so it is safe to reuse across the several ``run_points`` batches one
+experiment may issue.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+class ProgressReporter:
+    """Prints one line per completed simulation point."""
+
+    def __init__(self, stream: Optional[TextIO] = None, label: str = ""):
+        self.stream = stream if stream is not None else sys.stderr
+        self.label = label
+        self.total = 0
+        self.done = 0
+        self.cache_hits = 0
+        self._started = 0.0
+
+    def begin(self, total: int, label: str = "") -> None:
+        """Start (or extend) a batch of ``total`` points."""
+        if label:
+            self.label = label
+        if self.done == self.total:
+            # Fresh batch: restart the rate estimate.
+            self.total = self.done = self.cache_hits = 0
+            self._started = time.monotonic()
+        self.total += total
+
+    def point_done(self, cached: bool = False) -> None:
+        self.done += 1
+        if cached:
+            self.cache_hits += 1
+        self._report()
+
+    def _eta_seconds(self) -> Optional[float]:
+        if not self.done or self.done >= self.total:
+            return None
+        elapsed = time.monotonic() - self._started
+        return elapsed / self.done * (self.total - self.done)
+
+    def _report(self) -> None:
+        pct = 100.0 * self.done / self.total if self.total else 100.0
+        eta = self._eta_seconds()
+        eta_text = f"ETA {eta:5.1f}s" if eta is not None else "done   "
+        prefix = f"{self.label}: " if self.label else ""
+        self.stream.write(
+            f"{prefix}[{self.done}/{self.total}] {pct:5.1f}% | {eta_text}"
+            f" | cache {self.cache_hits}/{self.done} hits\n"
+        )
+        self.stream.flush()

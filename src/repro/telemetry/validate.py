@@ -1,0 +1,103 @@
+"""Chrome ``trace_event`` schema validation (used by the CI trace-smoke).
+
+The format has no official JSON Schema; this validates the subset the
+exporter produces and Perfetto requires: the container shape, the
+per-record required keys, phase-specific fields (``dur`` for ``X``,
+``id`` for ``b``/``e``, ``s`` for ``i``, ``args.name`` for metadata),
+and that every async begin has a matching end within its
+``(cat, id)`` pair.
+
+Run as a module for CI::
+
+    python -m repro.telemetry.validate trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Tuple
+
+_KNOWN_PHASES = {"B", "E", "X", "i", "I", "C", "b", "e", "n", "M", "s", "t", "f"}
+
+
+def validate_chrome_trace(payload) -> List[str]:
+    """Return a list of schema problems (empty = valid)."""
+    errors: List[str] = []
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object has no 'traceEvents' list"]
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        return [f"trace must be a list or object, got {type(payload).__name__}"]
+
+    open_spans: Dict[Tuple[str, str], int] = {}
+    for index, record in enumerate(events):
+        where = f"event[{index}]"
+        if not isinstance(record, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = record.get("ph")
+        if not isinstance(phase, str) or phase not in _KNOWN_PHASES:
+            errors.append(f"{where}: bad phase {phase!r}")
+            continue
+        if not isinstance(record.get("name"), str):
+            errors.append(f"{where}: missing 'name'")
+        for key in ("pid", "tid"):
+            if not isinstance(record.get(key), int):
+                errors.append(f"{where}: missing integer {key!r}")
+        if phase == "M":
+            args = record.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                errors.append(f"{where}: metadata without args.name")
+            continue
+        if not isinstance(record.get("ts"), (int, float)):
+            errors.append(f"{where}: missing numeric 'ts'")
+        if phase == "X":
+            if not isinstance(record.get("dur"), (int, float)):
+                errors.append(f"{where}: 'X' slice without 'dur'")
+        elif phase in ("b", "e"):
+            span = (str(record.get("cat")), str(record.get("id")))
+            if record.get("id") is None:
+                errors.append(f"{where}: async event without 'id'")
+            elif phase == "b":
+                open_spans[span] = open_spans.get(span, 0) + 1
+            else:
+                if open_spans.get(span, 0) <= 0:
+                    errors.append(f"{where}: 'e' with no open 'b' for {span}")
+                else:
+                    open_spans[span] -= 1
+        elif phase in ("i", "I"):
+            if record.get("s") not in (None, "t", "p", "g"):
+                errors.append(f"{where}: bad instant scope {record.get('s')!r}")
+
+    for span, depth in open_spans.items():
+        if depth:
+            errors.append(f"unclosed async span {span} (depth {depth})")
+    return errors
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.telemetry.validate <trace.json>",
+              file=sys.stderr)
+        return 2
+    with open(argv[0], encoding="utf-8") as fh:
+        payload = json.load(fh)
+    errors = validate_chrome_trace(payload)
+    events = payload.get("traceEvents", payload) if isinstance(payload, dict) \
+        else payload
+    if errors:
+        for error in errors[:40]:
+            print(f"INVALID: {error}", file=sys.stderr)
+        print(f"{len(errors)} schema problems in {argv[0]}", file=sys.stderr)
+        return 1
+    print(f"OK: {argv[0]} valid ({len(events)} trace events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,11 +30,21 @@ def _run(config, trace_factories, kernel, warmup, measure, **kwargs):
 
 def _assert_equivalent(config, trace_factories, warmup=6_000, measure=4_000,
                        **kwargs):
-    _, reference = _run(config, trace_factories, "cycle", warmup, measure,
-                        **kwargs)
+    ref_system, reference = _run(config, trace_factories, "cycle", warmup,
+                                 measure, **kwargs)
     system, skipped = _run(config, trace_factories, "event", warmup, measure,
                            **kwargs)
     assert asdict(skipped) == asdict(reference)
+    # The cycle kernel never scans for skips; the event kernel's counters
+    # must be internally consistent: it cannot take more skips than it
+    # attempted, and every taken skip fast-forwarded at least one cycle.
+    assert ref_system.skip_attempts == 0
+    assert ref_system.skips_taken == 0
+    assert ref_system.skipped_cycles == 0
+    assert system.skip_attempts >= system.skips_taken
+    assert system.skipped_cycles >= system.skips_taken
+    if system.skipped_cycles:
+        assert system.skips_taken > 0
     return system
 
 
@@ -76,6 +86,16 @@ class TestKernelEquivalence:
         system = _assert_equivalent(config, [short, short],
                                     warmup=1_000, measure=2_000)
         assert system.skipped_cycles > 1_000
+
+    def test_skip_counters_account_for_fast_forwards(self):
+        config = baseline_config(n_threads=2, arbiter="vpc")
+        system, _ = _run(config, [loads_trace, stores_trace], "event",
+                         warmup=6_000, measure=4_000)
+        # loads+stores stalls on DRAM round trips, so the scanner must
+        # both attempt and take skips here, and the cycles it removed
+        # must be attributable to those takes.
+        assert system.skip_attempts >= system.skips_taken > 0
+        assert system.skipped_cycles >= system.skips_taken
 
     def test_unknown_kernel_rejected(self):
         config = baseline_config(n_threads=1, arbiter="row-fcfs")

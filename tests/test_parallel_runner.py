@@ -10,6 +10,7 @@ key sensitivity, opt-out).  The autouse conftest fixture points
 
 from __future__ import annotations
 
+import io
 from concurrent.futures import ProcessPoolExecutor
 
 import pytest
@@ -17,6 +18,7 @@ import pytest
 from repro.common.config import VPCAllocation, baseline_config, private_equivalent
 from repro.experiments import parallel
 from repro.experiments.parallel import SimPoint, run_point, run_points
+from repro.telemetry import ProgressReporter, RingBufferSink, TelemetryBus
 
 
 @pytest.fixture(autouse=True)
@@ -103,6 +105,89 @@ def test_cache_key_covers_every_field():
     ]
     keys = {parallel.cache_key(p) for p in [base, *variants]}
     assert len(keys) == len(variants) + 1
+
+
+def test_cache_summary_line():
+    assert parallel.cache_summary() is None  # nothing ran yet
+    point = _target_point()
+    run_points([point])
+    summary = parallel.cache_summary()
+    assert "0 hits" in summary and "1 misses" in summary
+    run_points([point])
+    summary = parallel.cache_summary()
+    assert "1 hits" in summary and "1 misses" in summary
+    assert str(parallel.cache_dir()) in summary
+
+
+def test_runner_summary_line_reports_cache_hits(capsys, monkeypatch):
+    """The end-of-run summary of ``python -m repro.experiments`` surfaces
+    the target-cache hit/miss counts accumulated across experiments."""
+    from repro.experiments import runner
+    from repro.experiments.base import REGISTRY, ExperimentResult
+
+    def fake_experiment(fast=False):
+        run_points([_target_point()])
+        return ExperimentResult(exp_id="dummy", title="dummy",
+                                headers=["x"], rows=[[1]])
+
+    monkeypatch.setitem(REGISTRY, "dummy", fake_experiment)
+    assert runner.main(["dummy", "dummy", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "target cache: 1 hits, 1 misses" in out
+
+
+def test_run_experiment_attaches_manifest(monkeypatch):
+    from repro.experiments import runner
+    from repro.experiments.base import REGISTRY, ExperimentResult
+
+    def fake_experiment(fast=False):
+        run_points([_target_point()])
+        return ExperimentResult(exp_id="dummy", title="dummy",
+                                headers=["x"], rows=[[1]])
+
+    monkeypatch.setitem(REGISTRY, "dummy", fake_experiment)
+    result = runner.run_experiment("dummy", fast=True)
+    manifest = result.manifest
+    assert manifest is not None
+    assert manifest.kernel == "event"
+    assert manifest.cache == {"hits": 0, "misses": 1}
+    assert manifest.git_sha
+    assert manifest.wall_time_s >= 0
+    assert manifest.extra["exp_id"] == "dummy"
+    assert manifest.extra["fast"] is True
+    # The second run hits the cache; each manifest sees only its delta.
+    assert runner.run_experiment("dummy").manifest.cache == {
+        "hits": 1, "misses": 0,
+    }
+
+
+def test_progress_reporter_ticks_per_point():
+    stream = io.StringIO()
+    parallel.configure(progress=ProgressReporter(stream=stream))
+    point = _target_point()
+    run_points([point, _two_thread_point()])
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    assert "[1/2]" in lines[0] and "[2/2]" in lines[1]
+    assert "cache 0/2 hits" in lines[1]
+    # A fresh batch with a warm cache reports the hit.
+    stream2 = io.StringIO()
+    parallel.configure(progress=ProgressReporter(stream=stream2))
+    run_points([point])
+    assert "cache 1/1 hits" in stream2.getvalue()
+
+
+def test_orchestration_telemetry_events():
+    bus = TelemetryBus()
+    ring = bus.attach(RingBufferSink())
+    parallel.configure(telemetry=bus)
+    point = _target_point()
+    run_points([point, _two_thread_point()])
+    names = sorted(event.name for event in ring)
+    assert names == ["point0", "point1"]
+    assert all(event.category == "run" for event in ring)
+    run_points([point])
+    assert [e.name for e in ring][-1] == "cache-hit"
 
 
 def test_corrupt_cache_entry_falls_back_to_simulation(tmp_path):
