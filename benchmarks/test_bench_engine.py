@@ -66,6 +66,7 @@ def _force_untraced(system):
             arbiter._trace = None
     for bank in system.banks:
         bank._trace = None
+        bank.array.policy._trace = None
     system.crossbar._trace = None
     for channel in system.memory.channels:
         channel._trace = None
@@ -73,6 +74,8 @@ def _force_untraced(system):
         mshrs = getattr(core, "mshrs", None)
         if mshrs is not None:
             mshrs._trace = None
+    if system.l3 is not None:
+        system.l3.array.policy._trace = None
     return system
 
 
@@ -123,6 +126,31 @@ def test_bench_traced_simulation(benchmark):
                              vpc=VPCAllocation.equal(2))
     bus = TelemetryBus()
     bus.attach(RingBufferSink())
+    system = CMPSystem(config, [loads_trace(0), stores_trace(1)],
+                       telemetry=bus)
+    system.run(5_000)
+    benchmark.pedantic(system.run, args=(10_000,), iterations=1, rounds=3)
+
+
+def test_bench_metrics_enabled_simulation(benchmark):
+    """The same 2-thread CMP with the metrics/attribution sinks attached
+    — the cost of turning the observability *aggregation* layer on
+    (windowed MetricsCollector + InterferenceAttributor, no ring
+    buffer).  Compare against test_bench_simulation_cycles_per_second
+    for the metrics-enabled overhead; the <2% contract only covers the
+    disabled path, which test_trace_disabled_overhead_under_two_percent
+    guards."""
+    from repro.telemetry import (
+        InterferenceAttributor,
+        MetricsCollector,
+        TelemetryBus,
+    )
+
+    config = baseline_config(n_threads=2, arbiter="vpc",
+                             vpc=VPCAllocation.equal(2))
+    bus = TelemetryBus()
+    bus.attach(MetricsCollector(2, window=2_000))
+    bus.attach(InterferenceAttributor(2))
     system = CMPSystem(config, [loads_trace(0), stores_trace(1)],
                        telemetry=bus)
     system.run(5_000)

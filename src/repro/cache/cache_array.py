@@ -27,10 +27,12 @@ class Eviction:
 class CacheSet:
     """One cache set: tags, per-way metadata, and an MRU-first stack."""
 
-    __slots__ = ("ways", "line_of", "owner", "valid", "dirty", "lru", "_where")
+    __slots__ = ("ways", "index", "line_of", "owner", "valid", "dirty",
+                 "lru", "_where")
 
-    def __init__(self, ways: int) -> None:
+    def __init__(self, ways: int, index: int = -1) -> None:
         self.ways = ways
+        self.index = index
         self.line_of: List[int] = [-1] * ways
         self.owner: List[int] = [-1] * ways
         self.valid: List[bool] = [False] * ways
@@ -65,6 +67,7 @@ class CacheSet:
             owners=list(self.owner),
             valid=list(self.valid),
             lru_order=[w for w in reversed(self.lru)],  # LRU first for policies
+            index=self.index,
         )
 
     def install(self, way: int, line: int, thread_id: int) -> None:
@@ -109,7 +112,9 @@ class CacheArray:
         self.ways = ways
         self.policy = policy
         self.index_stride = index_stride
-        self._sets: List[CacheSet] = [CacheSet(ways) for _ in range(sets)]
+        self._sets: List[CacheSet] = [
+            CacheSet(ways, index) for index in range(sets)
+        ]
         self.hits = 0
         self.misses = 0
 

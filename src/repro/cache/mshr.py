@@ -37,11 +37,13 @@ class MSHRFile:
         self.trace_name = "mshrs"
 
     def _emit_occupancy(self, now: int, what: str, line: int) -> None:
+        # Counter events carry numeric series only (Perfetto renders each
+        # args key as one counter series; strings would corrupt the
+        # track).  ``what``/``line`` detail belongs to request spans.
         self._trace.emit(TraceEvent(
             ts=now, phase=PH_COUNTER, category=CAT_MSHR,
             name=self.trace_name, track=self.trace_name,
-            args={"outstanding": len(self._entries), "event": what,
-                  "line": line},
+            args={"outstanding": len(self._entries)},
         ))
 
     def lookup(self, line: int) -> Optional[MSHREntry]:

@@ -19,12 +19,16 @@ class SetView:
 
     ``lru_order`` lists way indices least-recently-used first, covering
     every way (valid or not); policies must only pick valid ways.
+    ``index`` is the set's position in its array (-1 for synthetic views
+    built directly in tests) — instrumented policies use it to name
+    per-set occupancy counter tracks.
     """
 
     ways: int
     owners: List[int]
     valid: List[bool]
     lru_order: List[int]
+    index: int = -1
 
     def valid_lru_ways(self) -> List[int]:
         return [w for w in self.lru_order if self.valid[w]]
@@ -36,7 +40,19 @@ class SetView:
 
 
 class ReplacementPolicy(ABC):
-    """Chooses a victim way when a set is full."""
+    """Chooses a victim way when a set is full.
+
+    Telemetry follows the engine-wide contract: ``_trace`` is ``None``
+    until :meth:`CMPSystem.attach_telemetry` points it at a bus (one
+    ``is not None`` test per victimization when disabled).  ``clock``
+    supplies the current simulated cycle — ``choose_victim`` itself is
+    timing-free by design, so the system wires a clock in alongside the
+    bus rather than widening the policy interface.
+    """
+
+    _trace = None
+    trace_name = "capacity"
+    clock = None
 
     @abstractmethod
     def choose_victim(self, set_view: SetView, requester: int) -> int:

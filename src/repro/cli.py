@@ -87,6 +87,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a run manifest (config hash, git SHA, "
                              "kernel, wall time) to PATH, or print it when "
                              "no PATH is given")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="collect window time-series metrics and write "
+                             "the JSON snapshot to PATH")
+    parser.add_argument("--prometheus", default=None, metavar="PATH",
+                        help="also export final metrics as Prometheus text "
+                             "exposition to PATH (implies metrics)")
+    parser.add_argument("--report", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="print a QoS report card (per-thread targets, "
+                             "conformance, interference attribution); write "
+                             "its JSON to PATH when given.  Target IPCs add "
+                             "one private-machine run per thread")
+    parser.add_argument("--metrics-window", type=int, default=2_000,
+                        metavar="CYCLES",
+                        help="metrics/QoS-audit window in cycles "
+                             "(default 2000)")
     return parser
 
 
@@ -114,12 +130,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         for tid, name in enumerate(args.workloads)
     ]
 
+    observe = bool(args.metrics or args.prometheus or args.report is not None)
+
+    # Target IPCs (one private-equivalent run per thread) come first so
+    # the metrics collector can track slowdown-vs-solo live.
+    targets = None
+    if args.report is not None:
+        from repro.system.metrics import target_ipc
+        targets = [
+            target_ipc(
+                config,
+                resolve_workload(name, 0),
+                phi=allocation.bandwidth_shares[tid],
+                beta=allocation.capacity_shares[tid],
+                warmup=args.warmup,
+                measure=args.cycles,
+            )
+            for tid, name in enumerate(args.workloads)
+        ]
+
     telemetry = None
     ring = jsonl = histograms = None
-    if args.trace or args.histograms:
+    collector = attributor = None
+    if args.trace or args.histograms or observe:
         from repro.telemetry import (
+            InterferenceAttributor,
             JsonlSink,
             LatencyHistogramSink,
+            MetricsCollector,
             RingBufferSink,
             TelemetryBus,
         )
@@ -131,6 +169,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 ring = telemetry.attach(RingBufferSink())
         if args.histograms:
             histograms = telemetry.attach(LatencyHistogramSink())
+        if observe:
+            collector = telemetry.attach(MetricsCollector(
+                n_threads, window=args.metrics_window,
+                baseline_ipcs=targets,
+            ))
+            attributor = telemetry.attach(InterferenceAttributor(n_threads))
 
     system = CMPSystem(
         config, traces,
@@ -138,9 +182,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         vpc_selection=args.selection,
         telemetry=telemetry,
     )
+    monitor = None
+    if observe and args.arbiter == "vpc":
+        from repro.core.monitor import QoSMonitor
+        monitor = QoSMonitor(system, window=args.metrics_window)
     started = time.monotonic()
-    result = run_simulation(system, warmup=args.warmup, measure=args.cycles)
+    result = run_simulation(system, warmup=args.warmup, measure=args.cycles,
+                            metrics=collector)
     wall_time = time.monotonic() - started
+    if attributor is not None:
+        attributor.finish(system.cycle)
+        result.metrics["attribution"] = attributor.snapshot()
+        result.metrics["arbiter"] = args.arbiter
+    if monitor is not None:
+        monitor.finish(system.cycle)
 
     print(f"{n_threads}-thread CMP, {args.banks} banks, arbiter={args.arbiter}"
           f" ({args.cycles} measured cycles after {args.warmup} warmup)")
@@ -156,6 +211,38 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"gathering rate {result.gathering_rate:.0%}, "
           f"miss rate {result.l2_miss_rate:.0%}")
 
+    if args.metrics:
+        import json
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(result.metrics, handle, indent=2)
+            handle.write("\n")
+        print(f"  metrics: {result.metrics['events_seen']} events "
+              f"aggregated -> {args.metrics}")
+    if args.prometheus:
+        from repro.telemetry import to_prometheus
+        with open(args.prometheus, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus(result.metrics))
+        print(f"  metrics: Prometheus exposition -> {args.prometheus}")
+    if args.report is not None:
+        from repro.telemetry import (
+            build_report_card,
+            render_report_card,
+            write_report,
+        )
+        card = build_report_card(
+            n_threads=n_threads,
+            arbiter=args.arbiter,
+            metrics=result.metrics,
+            attribution=result.metrics.get("attribution"),
+            conformance=monitor.conformance() if monitor is not None else None,
+            targets=targets,
+            run_label=" ".join(args.workloads),
+        )
+        print()
+        print(render_report_card(card))
+        if args.report != "-":
+            write_report(card, args.report)
+            print(f"  report -> {args.report}")
     if histograms is not None:
         print("latency histograms (cycles):")
         print(histograms.format_report())

@@ -87,6 +87,26 @@ def harmonic_mean(values: Iterable[float]) -> float:
     return len(vals) / sum(1.0 / v for v in vals)
 
 
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 when every thread gets equal (normalized) throughput, ``1/n``
+    when one thread takes everything.  Zero-throughput vectors index to
+    0.0 rather than raising — an all-stalled window is maximally unfair
+    information, not an error.
+    """
+    vals: List[float] = list(values)
+    if not vals:
+        raise ValueError("Jain index of an empty sequence")
+    if any(v < 0 for v in vals):
+        raise ValueError(f"Jain index requires non-negative values: {vals}")
+    square_sum = sum(v * v for v in vals)
+    if square_sum == 0.0:
+        return 0.0
+    total = sum(vals)
+    return (total * total) / (len(vals) * square_sum)
+
+
 def weighted_mean(values: Iterable[float], weights: Iterable[float]) -> float:
     vals, wts = list(values), list(weights)
     if len(vals) != len(wts):

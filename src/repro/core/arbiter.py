@@ -20,7 +20,9 @@ import itertools
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Optional
+from typing import Any, Deque, List, Optional
+
+from repro.telemetry.events import CAT_ARBITER, PH_INSTANT, TraceEvent
 
 
 _entry_order = itertools.count()
@@ -46,13 +48,29 @@ class ArbiterEntry:
 
 
 class Arbiter(ABC):
-    """Selects which pending entry accesses the shared resource next."""
+    """Selects which pending entry accesses the shared resource next.
 
-    def __init__(self, n_threads: int) -> None:
+    Every arbiter — baseline or VPC — emits ``enqueue``/``grant``
+    telemetry when a bus is attached (``_trace`` is ``None`` otherwise:
+    the zero-overhead-when-disabled contract).  The interference
+    attributor and QoS metrics consume these events, so the baselines
+    the paper indicts are observable with the same instruments as the
+    VPC design that fixes them.  ``service_latency`` sizes the real
+    busy window a grant implies (``service_quanta`` base latencies).
+    """
+
+    def __init__(self, n_threads: int, service_latency: int = 1) -> None:
         if n_threads < 1:
             raise ValueError("arbiter needs at least one thread")
+        if service_latency <= 0:
+            raise ValueError(
+                f"service latency must be positive: {service_latency}"
+            )
         self.n_threads = n_threads
+        self.service_latency = service_latency
         self.grants = 0
+        self._trace = None
+        self.trace_name = "arbiter"
 
     @abstractmethod
     def enqueue(self, entry: ArbiterEntry, now: int) -> None:
@@ -72,27 +90,53 @@ class Arbiter(ABC):
                 f"thread {entry.thread_id} out of range [0, {self.n_threads})"
             )
 
+    def _emit_enqueue(self, entry: ArbiterEntry, now: int, pending: int) -> None:
+        self._trace.emit(TraceEvent(
+            ts=now, phase=PH_INSTANT, category=CAT_ARBITER,
+            name="enqueue", track=self.trace_name, tid=entry.thread_id,
+            args={"pending": pending},
+        ))
+
+    def _emit_grant(self, entry: ArbiterEntry, now: int, pending: int) -> None:
+        self._trace.emit(TraceEvent(
+            ts=now, phase=PH_INSTANT, category=CAT_ARBITER,
+            name="grant", track=self.trace_name, tid=entry.thread_id,
+            dur=entry.service_quanta * self.service_latency,
+            args={"pending": pending},
+        ))
+
 
 class FCFSArbiter(Arbiter):
     """Strict arrival-order service across all threads."""
 
-    def __init__(self, n_threads: int) -> None:
-        super().__init__(n_threads)
+    def __init__(self, n_threads: int, service_latency: int = 1) -> None:
+        super().__init__(n_threads, service_latency)
         self._queue: Deque[ArbiterEntry] = deque()
+        self._pending: List[int] = [0] * n_threads
 
     def enqueue(self, entry: ArbiterEntry, now: int) -> None:
         self._check_thread(entry)
         entry.arrival = now
         self._queue.append(entry)
+        self._pending[entry.thread_id] += 1
+        if self._trace is not None:
+            self._emit_enqueue(entry, now, self._pending[entry.thread_id])
 
     def select(self, now: int) -> Optional[ArbiterEntry]:
         if not self._queue:
             return None
         self.grants += 1
-        return self._queue.popleft()
+        entry = self._queue.popleft()
+        self._pending[entry.thread_id] -= 1
+        if self._trace is not None:
+            self._emit_grant(entry, now, self._pending[entry.thread_id])
+        return entry
 
     def __len__(self) -> int:
         return len(self._queue)
+
+    def pending_for(self, thread_id: int) -> int:
+        return self._pending[thread_id]
 
 
 class RoWFCFSArbiter(Arbiter):
@@ -103,10 +147,11 @@ class RoWFCFSArbiter(Arbiter):
     indefinitely (Section 3.1, demonstrated in Section 5.3).
     """
 
-    def __init__(self, n_threads: int) -> None:
-        super().__init__(n_threads)
+    def __init__(self, n_threads: int, service_latency: int = 1) -> None:
+        super().__init__(n_threads, service_latency)
         self._reads: Deque[ArbiterEntry] = deque()
         self._writes: Deque[ArbiterEntry] = deque()
+        self._pending: List[int] = [0] * n_threads
 
     def enqueue(self, entry: ArbiterEntry, now: int) -> None:
         self._check_thread(entry)
@@ -115,18 +160,28 @@ class RoWFCFSArbiter(Arbiter):
             self._writes.append(entry)
         else:
             self._reads.append(entry)
+        self._pending[entry.thread_id] += 1
+        if self._trace is not None:
+            self._emit_enqueue(entry, now, self._pending[entry.thread_id])
 
     def select(self, now: int) -> Optional[ArbiterEntry]:
         if self._reads:
-            self.grants += 1
-            return self._reads.popleft()
-        if self._writes:
-            self.grants += 1
-            return self._writes.popleft()
-        return None
+            entry = self._reads.popleft()
+        elif self._writes:
+            entry = self._writes.popleft()
+        else:
+            return None
+        self.grants += 1
+        self._pending[entry.thread_id] -= 1
+        if self._trace is not None:
+            self._emit_grant(entry, now, self._pending[entry.thread_id])
+        return entry
 
     def __len__(self) -> int:
         return len(self._reads) + len(self._writes)
+
+    def pending_for(self, thread_id: int) -> int:
+        return self._pending[thread_id]
 
 
 def round_robin_order(start: int, n: int):

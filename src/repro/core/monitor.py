@@ -62,6 +62,16 @@ class QoSMonitor:
         for arbiters in system._vpc_arbiters.values():
             for arbiter in arbiters:
                 self._arbiters.append((arbiter.trace_name, arbiter))
+        # Guarantee-conformance ledger: per (resource, thread), windows
+        # where the thread was eligible (backlogged with a nonzero
+        # share) and windows where the service bound was met.
+        n = system.config.n_threads
+        self._eligible: Dict[str, List[int]] = {
+            name: [0] * n for name, _ in self._arbiters
+        }
+        self._met: Dict[str, List[int]] = {
+            name: [0] * n for name, _ in self._arbiters
+        }
         # Subscribe on the system's bus (creating one turns the
         # instrumentation on; until then the arbiters emit nothing).
         if system.telemetry is None:
@@ -135,6 +145,9 @@ class QoSMonitor:
                 # 3x max service: a grant straddling each window edge
                 # plus one EDF/non-preemption lag inside the window.
                 guaranteed = share * span - 3 * max_service
+                self._eligible[name][thread_id] += 1
+                if granted >= guaranteed:
+                    self._met[name][thread_id] += 1
                 if granted < guaranteed:
                     self.violations.append(
                         ServiceViolation(
@@ -152,6 +165,39 @@ class QoSMonitor:
     @property
     def clean(self) -> bool:
         return not self.violations
+
+    def conformance(self) -> Dict:
+        """Guarantee-conformance summary for the QoS report card.
+
+        A thread's conformance is the fraction of its *eligible* windows
+        (backlogged with a nonzero share, on any resource) where the
+        fair-queuing service bound held.  Threads never eligible report
+        100%: no guarantee was ever at stake.
+        """
+        n = self.system.config.n_threads
+        per_thread = []
+        for tid in range(n):
+            eligible = sum(rows[tid] for rows in self._eligible.values())
+            met = sum(rows[tid] for rows in self._met.values())
+            per_thread.append({
+                "thread": tid,
+                "eligible_windows": eligible,
+                "met_windows": met,
+                "conformance_pct":
+                    100.0 * met / eligible if eligible else 100.0,
+            })
+        return {
+            "window": self.window,
+            "windows_checked": self.windows_checked,
+            "violations": len(self.violations),
+            "clean": self.clean,
+            "per_thread": per_thread,
+            "per_resource": {
+                name: {"eligible": list(self._eligible[name]),
+                       "met": list(self._met[name])}
+                for name, _ in self._arbiters
+            },
+        }
 
 
 def run_monitored(

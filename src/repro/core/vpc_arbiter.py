@@ -53,13 +53,11 @@ class VPCArbiter(Arbiter):
         intra_thread_row: bool = True,
         selection: str = "finish",
     ) -> None:
-        super().__init__(n_threads)
+        super().__init__(n_threads, service_latency)
         if len(shares) != n_threads:
             raise ValueError(
                 f"{len(shares)} shares supplied for {n_threads} threads"
             )
-        if service_latency <= 0:
-            raise ValueError(f"service latency must be positive: {service_latency}")
         if selection not in ("finish", "start"):
             raise ValueError(
                 f"selection must be 'finish' (EDF/WFQ) or 'start' (SFQ), "
@@ -77,7 +75,6 @@ class VPCArbiter(Arbiter):
         if any(s < 0 for s in shares):
             raise ValueError(f"negative share in {list(shares)}")
 
-        self.service_latency = service_latency
         self.intra_thread_row = intra_thread_row
         self._shares: List[float] = list(shares)
         # R.L[i] = L / phi_i  (infinite for zero-share threads).
@@ -87,10 +84,8 @@ class VPCArbiter(Arbiter):
         self._buffers: List[Deque[ArbiterEntry]] = [deque() for _ in range(n_threads)]
         self._size = 0  # incremental total; len() sits on the bank hot path
         # Instrumentation: real service cycles granted per thread.
+        # (_trace / trace_name / service_latency live on the base class.)
         self.service_granted: List[int] = [0] * n_threads
-        # Telemetry (repro.telemetry): None = disabled = free.
-        self._trace = None
-        self.trace_name = "arbiter"
 
     # ------------------------------------------------------------------ #
     # Control-register interface (software-visible, Section 4 intro).

@@ -24,6 +24,9 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
     # Provenance (repro.telemetry.RunManifest), attached by the runner.
     manifest: Optional[object] = None
+    # Aggregated per-point metrics (repro.telemetry.metrics), attached by
+    # the runner when metrics collection is enabled.
+    metrics: Optional[Dict] = None
 
     def cell(self, row: int, column: str):
         return self.rows[row][self.headers.index(column)]

@@ -55,9 +55,20 @@ _cache_enabled = True
 # the execution policy also restore "no observers".
 _progress = None
 _telemetry = None
+# Metrics collection window in cycles (None = off).  When set, every
+# point runs with a MetricsCollector + InterferenceAttributor attached
+# (built inside the worker process — the window travels to workers as an
+# explicit run_point argument, never as process-global state) and the
+# snapshot rides back on SimulationResult.metrics.
+_metrics_window: Optional[int] = None
 
 #: hits/misses observability (tests assert on this; reset via configure).
 cache_stats: Dict[str, int] = {"hits": 0, "misses": 0}
+
+#: Metrics snapshots of completed points, in point order, accumulated
+#: across run_points() batches; the experiment runner drains this per
+#: experiment via drain_metrics().  Empty unless metrics are configured.
+metrics_log: List[Dict] = []
 
 
 def configure(
@@ -65,19 +76,35 @@ def configure(
     cache: Optional[bool] = None,
     progress=None,
     telemetry=None,
+    metrics: Optional[int] = None,
 ) -> None:
-    """Set the process-wide execution policy (``jobs=0`` → all CPUs)."""
-    global _jobs, _cache_enabled, _progress, _telemetry
+    """Set the process-wide execution policy (``jobs=0`` → all CPUs).
+
+    ``metrics`` is a cycle-window size enabling per-point metrics
+    collection; like the observers it is reset by every call.
+    """
+    global _jobs, _cache_enabled, _progress, _telemetry, _metrics_window
     if jobs is not None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
         _jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
     if cache is not None:
         _cache_enabled = cache
+    if metrics is not None and metrics < 1:
+        raise ValueError(f"metrics window must be >= 1 cycle, got {metrics}")
     _progress = progress
     _telemetry = telemetry
+    _metrics_window = metrics
     cache_stats["hits"] = 0
     cache_stats["misses"] = 0
+    metrics_log.clear()
+
+
+def drain_metrics() -> List[Dict]:
+    """Hand over (and clear) the accumulated per-point snapshots."""
+    drained = list(metrics_log)
+    metrics_log.clear()
+    return drained
 
 
 def cache_summary() -> Optional[str]:
@@ -142,8 +169,16 @@ def _build_trace(spec: Tuple, thread_id: int):
     raise ValueError(f"unknown trace spec {spec!r}")
 
 
-def run_point(point: SimPoint) -> SimulationResult:
-    """Simulate one point from scratch (no cache involvement)."""
+def run_point(
+    point: SimPoint, metrics_window: Optional[int] = None
+) -> SimulationResult:
+    """Simulate one point from scratch (no cache involvement).
+
+    With ``metrics_window`` set the point runs fully observed — metrics
+    collector plus interference attributor on a private bus — and the
+    combined snapshot returns on ``SimulationResult.metrics`` (a plain
+    dict, so it pickles home from worker processes).
+    """
     traces = [
         _build_trace(spec, tid) for tid, spec in enumerate(point.traces)
     ]
@@ -155,7 +190,26 @@ def run_point(point: SimPoint) -> SimulationResult:
         vpc_selection=point.vpc_selection,
         smt_degree=point.smt_degree,
     )
-    return run_simulation(system, warmup=point.warmup, measure=point.measure)
+    metrics = attributor = None
+    if metrics_window is not None:
+        from repro.telemetry import (
+            InterferenceAttributor,
+            MetricsCollector,
+            TelemetryBus,
+        )
+        bus = system.attach_telemetry(TelemetryBus())
+        metrics = bus.attach(MetricsCollector(
+            point.config.n_threads, window=metrics_window))
+        attributor = bus.attach(InterferenceAttributor(
+            point.config.n_threads))
+    result = run_simulation(
+        system, warmup=point.warmup, measure=point.measure, metrics=metrics
+    )
+    if attributor is not None:
+        attributor.finish(system.cycle)
+        result.metrics["attribution"] = attributor.snapshot()
+        result.metrics["arbiter"] = point.config.arbiter
+    return result
 
 
 # ---------------------------------------------------------------------- #
@@ -223,6 +277,11 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
     todo: List[int] = []
     progress = _progress
     telemetry = _telemetry
+    metrics_window = _metrics_window
+    # Metrics runs bypass the cache entirely: cached results carry no
+    # snapshots, and polluting the cache with observed runs would make
+    # hit results depend on observability settings.
+    use_cache = _cache_enabled and metrics_window is None
     batch_t0 = time.monotonic()
 
     def wall_us() -> int:
@@ -231,7 +290,7 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
     if progress is not None:
         progress.begin(len(points))
     for index, point in enumerate(points):
-        if _cache_enabled and point.cacheable:
+        if use_cache and point.cacheable:
             cached = _cache_load(point)
             if cached is not None:
                 cache_stats["hits"] += 1
@@ -250,7 +309,7 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
 
     def finish(index: int, result: SimulationResult, started_us: int) -> None:
         results[index] = result
-        if _cache_enabled and points[index].cacheable:
+        if use_cache and points[index].cacheable:
             _cache_store(points[index], result)
         if telemetry is not None:
             telemetry.emit(TraceEvent(
@@ -266,7 +325,8 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
         with ProcessPoolExecutor(max_workers=min(_jobs, len(todo))) as pool:
             pending = {}
             for index in todo:
-                pending[pool.submit(run_point, points[index])] = (
+                pending[pool.submit(run_point, points[index],
+                                    metrics_window)] = (
                     index, wall_us()
                 )
             while pending:
@@ -276,5 +336,11 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
                     finish(index, future.result(), started_us)
     else:
         for index in todo:
-            finish(index, run_point(points[index]), wall_us())
+            finish(index, run_point(points[index], metrics_window),
+                   wall_us())
+    if metrics_window is not None:
+        metrics_log.extend(
+            result.metrics for result in results
+            if result is not None and result.metrics is not None
+        )
     return results  # type: ignore[return-value]

@@ -26,7 +26,12 @@ from repro.telemetry import RunManifest
 
 
 def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
-    """Run one experiment; the result carries a provenance manifest."""
+    """Run one experiment; the result carries a provenance manifest.
+
+    When metrics collection is configured (``parallel.configure(...,
+    metrics=window)``), the per-point snapshots the workers produced are
+    drained here and attached as one aggregate on ``result.metrics``.
+    """
     if exp_id not in REGISTRY:
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {sorted(REGISTRY)}"
@@ -34,6 +39,14 @@ def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
     cache_before = dict(parallel.cache_stats)
     started = time.monotonic()
     result = REGISTRY[exp_id](fast=fast)
+    snapshots = parallel.drain_metrics()
+    if snapshots:
+        from repro.telemetry import merge_attribution, merge_snapshots
+        aggregate = merge_snapshots(snapshots)
+        aggregate["attribution"] = merge_attribution(
+            [snap.get("attribution") for snap in snapshots]
+        )
+        result.metrics = aggregate
     result.manifest = RunManifest.collect(
         kernel="event",
         cache={
@@ -74,6 +87,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         metavar="DIR",
                         help="write <exp_id>.manifest.json per experiment "
                              "into DIR (default: current directory)")
+    parser.add_argument("--metrics", nargs="?", const=".", default=None,
+                        metavar="DIR",
+                        help="collect per-point time-series metrics and "
+                             "write <exp_id>.metrics.json into DIR "
+                             "(default: current directory; disables the "
+                             "result cache for observed points)")
+    parser.add_argument("--report", nargs="?", const=".", default=None,
+                        metavar="DIR",
+                        help="print a QoS fleet report card per experiment "
+                             "and write <exp_id>.report.json into DIR "
+                             "(implies metrics collection)")
+    parser.add_argument("--metrics-window", type=int, default=2_000,
+                        metavar="CYCLES",
+                        help="metrics aggregation window in cycles "
+                             "(default 2000)")
     args = parser.parse_args(argv)
 
     progress = ring = None
@@ -85,8 +113,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.telemetry import RingBufferSink, TelemetryBus
         telemetry = TelemetryBus()
         ring = telemetry.attach(RingBufferSink())
+    metrics_window = None
+    if args.metrics is not None or args.report is not None:
+        metrics_window = args.metrics_window
     parallel.configure(jobs=args.jobs, cache=not args.no_cache,
-                       progress=progress, telemetry=telemetry)
+                       progress=progress, telemetry=telemetry,
+                       metrics=metrics_window)
 
     if args.list or not args.experiments:
         for exp_id in sorted(REGISTRY):
@@ -110,6 +142,36 @@ def main(argv: Optional[List[str]] = None) -> int:
             path = Path(args.manifest) / f"{exp_id}.manifest.json"
             result.manifest.write(path)
             print(f"manifest -> {path}")
+        if args.metrics is not None and result.metrics is not None:
+            import json
+            path = Path(args.metrics) / f"{exp_id}.metrics.json"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(result.metrics, indent=2) + "\n")
+            print(f"metrics -> {path} "
+                  f"({result.metrics['points']} point snapshots)")
+        if args.report is not None and result.metrics is not None:
+            from repro.telemetry import (
+                build_report_card,
+                merge_report_cards,
+                render_fleet_card,
+                write_report,
+            )
+            cards = [
+                build_report_card(
+                    n_threads=snap["n_threads"],
+                    arbiter=snap.get("arbiter", "?"),
+                    metrics=snap,
+                    attribution=snap.get("attribution"),
+                    run_label=f"{exp_id}[{index}]",
+                )
+                for index, snap in enumerate(result.metrics["per_point"])
+            ]
+            fleet = merge_report_cards(cards, label=exp_id)
+            print(render_fleet_card(fleet))
+            path = Path(args.report) / f"{exp_id}.report.json"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            write_report(fleet, str(path))
+            print(f"report -> {path}\n")
     summary = parallel.cache_summary()
     if summary:
         print(summary)

@@ -93,10 +93,13 @@ class CMPSystem:
         )
         self.crossbar = Crossbar(config.n_threads, config.crossbar)
 
-        # VPC arbiters grouped by the resource they guard ("tag", "data",
+        # Arbiters grouped by the resource they guard ("tag", "data",
         # "bus"), so per-resource control-register writes reach exactly
         # the right arbiters (the paper's general allocation form).
-        self._vpc_arbiters: Dict[str, List[VPCArbiter]] = {
+        # Baseline (FCFS / RoW-FCFS) arbiters register here too so
+        # telemetry attachment and the interference attributor see every
+        # arbiter regardless of policy; register writes stay VPC-only.
+        self._vpc_arbiters: Dict[str, List[Arbiter]] = {
             "tag": [], "data": [], "bus": [], "l3": [],
         }
         # Optional shared L3: sits between the L2 banks and memory,
@@ -189,8 +192,17 @@ class CMPSystem:
         for arbiters in self._vpc_arbiters.values():
             for arbiter in arbiters:
                 arbiter._trace = bus
-        for bank in self.banks:
+        for index, bank in enumerate(self.banks):
             bank._trace = bus
+            policy = bank.array.policy
+            policy._trace = bus
+            policy.trace_name = f"bank{index}.capacity"
+            policy.clock = self._now
+        if self.l3 is not None:
+            policy = self.l3.array.policy
+            policy._trace = bus
+            policy.trace_name = "l3.capacity"
+            policy.clock = self._now
         self.crossbar._trace = bus
         self.memory.attach_trace(bus)
         for index, core in enumerate(self.cores):
@@ -199,6 +211,11 @@ class CMPSystem:
                 mshrs._trace = bus
                 mshrs.trace_name = f"core{index}.mshrs"
         return bus
+
+    def _now(self) -> int:
+        """Clock callable for components whose interfaces carry no
+        timestamp (replacement policies)."""
+        return self.cycle
 
     @property
     def request_log(self) -> List[MemoryRequest]:
@@ -224,16 +241,18 @@ class CMPSystem:
     def _make_arbiter(self, resource: str, base_latency: int) -> Arbiter:
         name = self.config.arbiter
         if name == "fcfs":
-            return FCFSArbiter(self.config.n_threads)
-        if name == "row-fcfs":
-            return RoWFCFSArbiter(self.config.n_threads)
-        arbiter = VPCArbiter(
-            self.config.n_threads,
-            self.config.vpc.bandwidth_shares,
-            base_latency,
-            intra_thread_row=self.intra_thread_row,
-            selection=self.vpc_selection,
-        )
+            arbiter: Arbiter = FCFSArbiter(self.config.n_threads,
+                                           base_latency)
+        elif name == "row-fcfs":
+            arbiter = RoWFCFSArbiter(self.config.n_threads, base_latency)
+        else:
+            arbiter = VPCArbiter(
+                self.config.n_threads,
+                self.config.vpc.bandwidth_shares,
+                base_latency,
+                intra_thread_row=self.intra_thread_row,
+                selection=self.vpc_selection,
+            )
         # Telemetry track name matches the QoS monitor's historical
         # "bank<index>.<resource>" naming (index within the resource).
         arbiter.trace_name = f"bank{len(self._vpc_arbiters[resource])}.{resource}"

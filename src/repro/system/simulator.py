@@ -9,7 +9,7 @@ reported IPCs and utilizations cover only the measurement interval.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.system.cmp import CMPSystem
 
@@ -33,6 +33,10 @@ class SimulationResult:
     write_hits: int
     write_misses: int
     extras: Dict[str, float] = field(default_factory=dict)
+    # Metrics snapshot (repro.telemetry.metrics) when a collector was
+    # passed to run_simulation; None otherwise, so results from
+    # metrics-free runs compare equal regardless of observability.
+    metrics: Optional[Dict] = None
 
     @property
     def write_fraction(self) -> float:
@@ -59,9 +63,21 @@ class SimulationResult:
 
 
 def run_simulation(
-    system: CMPSystem, warmup: int = 20_000, measure: int = 60_000
+    system: CMPSystem,
+    warmup: int = 20_000,
+    measure: int = 60_000,
+    metrics=None,
 ) -> SimulationResult:
-    """Run ``system`` with a warmup phase, measuring the steady state."""
+    """Run ``system`` with a warmup phase, measuring the steady state.
+
+    ``metrics`` is an optional :class:`repro.telemetry.metrics
+    .MetricsCollector`; when given, the measurement phase runs in
+    window-sized chunks with a gauge sample pulled at every boundary.
+    Chunked ``run()`` calls are bit-identical to one call (the
+    skip-ahead kernel's exactness contract — adaptation changes which
+    cycles are *skipped*, never any simulated state), so sampling does
+    not perturb the result.
+    """
     if warmup < 0 or measure <= 0:
         raise ValueError("warmup must be >= 0 and measure > 0")
     system.run(warmup)
@@ -73,7 +89,17 @@ def run_simulation(
     meter_snaps = [bank.utilization_snapshot() for bank in system.banks]
     counter_snaps = [bank.counters.snapshot() for bank in system.banks]
 
-    system.run(measure)
+    if metrics is None:
+        system.run(measure)
+    else:
+        metrics.sample(system)
+        remaining = measure
+        while remaining > 0:
+            chunk = min(metrics.window, remaining)
+            system.run(chunk)
+            metrics.sample(system)
+            remaining -= chunk
+        metrics.finish(system.cycle)
 
     instructions = [
         system.thread_dispatched(tid) - dispatched_before[tid]
@@ -103,6 +129,7 @@ def run_simulation(
         warmup_cycles=warmup,
         ipcs=ipcs,
         instructions=instructions,
+        metrics=metrics.snapshot() if metrics is not None else None,
         utilizations=avg_utils,
         bank_utilizations=bank_utils,
         l2_reads=total("read_requests"),

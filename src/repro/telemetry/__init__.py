@@ -16,8 +16,10 @@ from .bus import (
     TelemetryBus,
     TraceSink,
 )
+from .attribution import InterferenceAttributor, merge_attribution
 from .events import (
     CAT_ARBITER,
+    CAT_CACHE,
     CAT_DRAM,
     CAT_KERNEL,
     CAT_MSHR,
@@ -35,8 +37,16 @@ from .events import (
 )
 from .histograms import Histogram, LatencyHistogramSink
 from .manifest import RunManifest, config_hash, git_sha
+from .metrics import MetricsCollector, merge_snapshots, to_prometheus
 from .perfetto import chrome_trace, write_chrome_trace
 from .progress import ProgressReporter
+from .report import (
+    build_report_card,
+    merge_report_cards,
+    render_fleet_card,
+    render_report_card,
+    write_report,
+)
 from .validate import validate_chrome_trace
 
 __all__ = [
@@ -44,9 +54,13 @@ __all__ = [
     "RingBufferSink", "JsonlSink", "RequestLogSink", "CategoryFilterSink",
     "PH_BEGIN", "PH_END", "PH_COMPLETE", "PH_INSTANT", "PH_COUNTER",
     "CAT_REQUEST", "CAT_RESOURCE", "CAT_ARBITER", "CAT_KERNEL",
-    "CAT_MSHR", "CAT_SGB", "CAT_DRAM", "CAT_XBAR", "CAT_RUN",
+    "CAT_MSHR", "CAT_SGB", "CAT_DRAM", "CAT_XBAR", "CAT_RUN", "CAT_CACHE",
     "Histogram", "LatencyHistogramSink",
     "RunManifest", "config_hash", "git_sha",
+    "MetricsCollector", "merge_snapshots", "to_prometheus",
+    "InterferenceAttributor", "merge_attribution",
+    "build_report_card", "merge_report_cards",
+    "render_report_card", "render_fleet_card", "write_report",
     "chrome_trace", "write_chrome_trace",
     "ProgressReporter",
     "validate_chrome_trace",

@@ -34,6 +34,7 @@ CAT_SGB = "sgb"              # store-gather merges
 CAT_DRAM = "dram"            # DRAM data-bus occupancy
 CAT_XBAR = "crossbar"        # crossbar transport
 CAT_RUN = "run"              # experiment-runner orchestration (wall clock)
+CAT_CACHE = "cache"          # capacity-manager victimizations + occupancy
 
 
 @dataclass

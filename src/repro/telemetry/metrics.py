@@ -1,0 +1,441 @@
+"""Time-series metrics over the telemetry bus (operator-grade numbers).
+
+The :class:`MetricsCollector` turns the raw event firehose into
+fixed-cycle-window time series — the layer between "I have a Perfetto
+trace" and "I can alert on a thread's slowdown":
+
+* **event-derived series** (no polling; windows are resolved lazily from
+  event timestamps, so the skip-ahead kernel needs no changes): per-
+  resource granted service cycles by thread, per-resource busy/
+  utilization, arbiter queue-depth high-water marks, MSHR occupancy,
+  capacity-manager Condition-1/Condition-2 victimizations, loads retired
+  and their latency;
+* **sampled series** (pulled at window boundaries by
+  :func:`repro.system.simulator.run_simulation` when a collector is
+  passed in): per-thread IPC-over-time, per-thread L2 way occupancy,
+  and — when solo-run baseline IPCs are configured — per-thread slowdown
+  plus the Jain fairness index per window.
+
+Snapshots are plain-JSON dicts (``schema`` tagged), picklable across the
+``repro.experiments.parallel`` process boundary, mergeable per
+experiment with :func:`merge_snapshots`, and exportable as Prometheus
+text exposition with :func:`to_prometheus`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.stats import jain_index
+
+from .events import (
+    CAT_ARBITER,
+    CAT_CACHE,
+    CAT_DRAM,
+    CAT_MSHR,
+    CAT_REQUEST,
+    CAT_RESOURCE,
+    PH_COMPLETE,
+    PH_END,
+    PH_INSTANT,
+    TraceEvent,
+)
+
+#: Schema tags on exported JSON (validated by repro.telemetry.validate).
+METRICS_SCHEMA = "repro.metrics/1"
+AGGREGATE_SCHEMA = "repro.metrics-aggregate/1"
+
+
+class MetricsCollector:
+    """Aggregates bus events into per-window counters/gauges.
+
+    ``window`` is in simulated cycles; event series are indexed by the
+    absolute window ``ts // window`` so out-of-order events across
+    categories (DRAM slices are stamped at data-bus start, which may
+    trail the emitting cycle) land in the right bucket without any
+    event-stream sorting.
+    """
+
+    def __init__(
+        self,
+        n_threads: int,
+        window: int = 2_000,
+        baseline_ipcs: Optional[Sequence[float]] = None,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError("metrics need at least one thread")
+        if window < 1:
+            raise ValueError("window must be >= 1 cycle")
+        self.n_threads = n_threads
+        self.window = window
+        # Solo-run (private-machine) IPC per thread; enables the slowdown
+        # series and normalized fairness.  May be set after the run, any
+        # time before snapshot().
+        self.baseline_ipcs: Optional[List[float]] = (
+            list(baseline_ipcs) if baseline_ipcs is not None else None
+        )
+        self.events_seen = 0
+        # Event-derived, keyed by absolute window index.
+        self._lo = None  # observed window index range
+        self._hi = None
+        self._service: Dict[str, Dict[int, List[int]]] = {}   # track -> widx -> per-thread cycles
+        self._busy: Dict[str, Dict[int, int]] = {}            # track -> widx -> busy cycles
+        self._queue_max: Dict[str, Dict[int, int]] = {}       # track -> widx -> max pending
+        self._mshr_max: Dict[str, Dict[int, int]] = {}        # track -> widx -> max outstanding
+        self._cond: Dict[str, Dict[int, List[int]]] = {
+            "cond1": {}, "cond2": {},
+        }                                                      # widx -> per-thread counts
+        self._loads: Dict[int, List[int]] = {}                 # widx -> per-thread retired loads
+        self._load_latency: Dict[int, List[int]] = {}          # widx -> per-thread latency sums
+        # Pull samples: (cycle, dispatched per thread, L2 ways per thread).
+        self._samples: List[tuple] = []
+        self._finished_at: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # TraceSink protocol (event-derived series).
+    # ------------------------------------------------------------------ #
+
+    def _widx(self, ts: int) -> int:
+        widx = ts // self.window
+        if self._lo is None or widx < self._lo:
+            self._lo = widx
+        if self._hi is None or widx > self._hi:
+            self._hi = widx
+        return widx
+
+    def _thread_row(self, store: Dict[int, List[int]], widx: int) -> List[int]:
+        row = store.get(widx)
+        if row is None:
+            row = store[widx] = [0] * self.n_threads
+        return row
+
+    def emit(self, event: TraceEvent) -> None:
+        category = event.category
+        if category == CAT_ARBITER:
+            widx = self._widx(event.ts)
+            if event.name == "grant":
+                track = self._service.setdefault(event.track, {})
+                self._thread_row(track, widx)[event.tid] += event.dur
+            pending = event.args.get("pending") if event.args else None
+            if pending is not None:
+                track = self._queue_max.setdefault(event.track, {})
+                if pending > track.get(widx, 0):
+                    track[widx] = pending
+        elif category in (CAT_RESOURCE, CAT_DRAM):
+            if event.phase == PH_COMPLETE:
+                widx = self._widx(event.ts)
+                track = self._busy.setdefault(event.track, {})
+                track[widx] = track.get(widx, 0) + event.dur
+        elif category == CAT_REQUEST:
+            if event.phase == PH_END and event.tid >= 0:
+                widx = self._widx(event.ts)
+                request = event.args.get("request") if event.args else None
+                if request is not None and request.is_read:
+                    self._thread_row(self._loads, widx)[event.tid] += 1
+                    issued = getattr(request, "issued_cycle", -1)
+                    critical = getattr(request, "critical_word_cycle", -1)
+                    if issued >= 0 and critical >= issued:
+                        self._thread_row(self._load_latency, widx)[
+                            event.tid] += critical - issued
+        elif category == CAT_MSHR:
+            outstanding = event.args.get("outstanding") if event.args else None
+            if outstanding is not None:
+                widx = self._widx(event.ts)
+                track = self._mshr_max.setdefault(event.track, {})
+                if outstanding > track.get(widx, 0):
+                    track[widx] = outstanding
+        elif category == CAT_CACHE:
+            if event.phase == PH_INSTANT and event.name in self._cond:
+                widx = self._widx(event.ts)
+                if 0 <= event.tid < self.n_threads:
+                    self._thread_row(self._cond[event.name], widx)[
+                        event.tid] += 1
+        else:
+            return
+        self.events_seen += 1
+
+    # ------------------------------------------------------------------ #
+    # Pull-sampled series (window boundaries of the measurement phase).
+    # ------------------------------------------------------------------ #
+
+    def sample(self, system) -> None:
+        """Record a gauge sample from a live system.
+
+        Called by the simulation driver at measurement-window boundaries;
+        never from the per-cycle hot path, so metrics keep the telemetry
+        layer's zero-overhead-when-disabled contract.
+        """
+        dispatched = [
+            system.thread_dispatched(tid) for tid in range(self.n_threads)
+        ]
+        ways = system.l2.occupancy_by_thread(self.n_threads)
+        self._samples.append((system.cycle, dispatched, ways))
+
+    def finish(self, end: int) -> None:
+        self._finished_at = end
+        self._widx(end - 1 if end > 0 else 0)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot assembly.
+    # ------------------------------------------------------------------ #
+
+    def _materialize(self, store: Dict[int, int]) -> List[int]:
+        return [store.get(w, 0) for w in range(self._lo, self._hi + 1)]
+
+    def _materialize_threads(
+        self, store: Dict[int, List[int]]
+    ) -> List[List[int]]:
+        zeros = [0] * self.n_threads
+        rows = [list(store.get(w, zeros))
+                for w in range(self._lo, self._hi + 1)]
+        # thread-major: series[tid][window]
+        return [[row[tid] for row in rows] for tid in range(self.n_threads)]
+
+    def _sampled_series(self):
+        """Per-interval IPC / way-occupancy / slowdown / fairness."""
+        cycles = [s[0] for s in self._samples]
+        ipc: List[List[float]] = [[] for _ in range(self.n_threads)]
+        for (c0, d0, _), (c1, d1, _) in zip(self._samples, self._samples[1:]):
+            span = c1 - c0
+            for tid in range(self.n_threads):
+                ipc[tid].append((d1[tid] - d0[tid]) / span if span else 0.0)
+        ways = [[s[2][tid] for s in self._samples]
+                for tid in range(self.n_threads)]
+        slowdown = None
+        if self.baseline_ipcs is not None:
+            slowdown = [
+                [base / value if value > 0 else float("inf")
+                 for value in ipc[tid]]
+                for tid, base in enumerate(self.baseline_ipcs)
+            ]
+        fairness = []
+        for k in range(len(cycles) - 1):
+            throughput = [ipc[tid][k] for tid in range(self.n_threads)]
+            if self.baseline_ipcs is not None:
+                throughput = [
+                    value / base if base > 0 else 0.0
+                    for value, base in zip(throughput, self.baseline_ipcs)
+                ]
+            fairness.append(jain_index(throughput))
+        return cycles, ipc, ways, slowdown, fairness
+
+    def measured(self):
+        """(cycles, instructions per thread, ipcs) over the sampled span."""
+        if len(self._samples) < 2:
+            return 0, [0] * self.n_threads, [0.0] * self.n_threads
+        c0, d0, _ = self._samples[0]
+        c1, d1, _ = self._samples[-1]
+        span = c1 - c0
+        instructions = [d1[tid] - d0[tid] for tid in range(self.n_threads)]
+        # Same integer division run_simulation performs, so a metrics
+        # snapshot's ipcs match the SimulationResult bit for bit.
+        ipcs = [insts / span if span else 0.0 for insts in instructions]
+        return span, instructions, ipcs
+
+    def snapshot(self) -> Dict:
+        """The JSON-able form: meta + totals + every series."""
+        span, instructions, ipcs = self.measured()
+        out: Dict = {
+            "schema": METRICS_SCHEMA,
+            "window": self.window,
+            "n_threads": self.n_threads,
+            "events_seen": self.events_seen,
+            "measured_cycles": span,
+            "instructions": instructions,
+            "ipcs": ipcs,
+        }
+        series: Dict = {}
+        if self._lo is not None:
+            out["window_base"] = self._lo
+            out["windows"] = self._hi - self._lo + 1
+            series["service_cycles"] = {
+                track: self._materialize_threads(store)
+                for track, store in sorted(self._service.items())
+            }
+            series["utilization"] = {
+                track: [value / self.window
+                        for value in self._materialize(store)]
+                for track, store in sorted(self._busy.items())
+            }
+            series["queue_depth_max"] = {
+                track: self._materialize(store)
+                for track, store in sorted(self._queue_max.items())
+            }
+            series["mshr_max"] = {
+                track: self._materialize(store)
+                for track, store in sorted(self._mshr_max.items())
+            }
+            series["loads"] = self._materialize_threads(self._loads)
+            series["load_latency_sum"] = self._materialize_threads(
+                self._load_latency)
+            series["cond1"] = self._materialize_threads(self._cond["cond1"])
+            series["cond2"] = self._materialize_threads(self._cond["cond2"])
+        if len(self._samples) >= 2:
+            cycles, ipc, ways, slowdown, fairness = self._sampled_series()
+            out["sample_cycles"] = cycles
+            series["ipc"] = ipc
+            series["l2_ways"] = ways
+            if slowdown is not None:
+                series["slowdown"] = slowdown
+            series["jain_fairness"] = fairness
+        out["series"] = series
+        out["totals"] = self._totals(series)
+        out["fairness"] = self._fairness_summary(ipcs, out)
+        if self.baseline_ipcs is not None:
+            out["baseline_ipcs"] = list(self.baseline_ipcs)
+        return out
+
+    def _totals(self, series: Dict) -> Dict:
+        def row_sum(rows):
+            return [sum(values) for values in rows]
+
+        totals: Dict = {}
+        if "service_cycles" in series:
+            totals["service_cycles"] = {
+                track: row_sum(rows)
+                for track, rows in series["service_cycles"].items()
+            }
+        if "loads" in series:
+            totals["loads"] = row_sum(series["loads"])
+            latency = row_sum(series["load_latency_sum"])
+            totals["load_latency_mean"] = [
+                lat / n if n else 0.0
+                for lat, n in zip(latency, totals["loads"])
+            ]
+        if "cond1" in series:
+            totals["cond1"] = row_sum(series["cond1"])
+            totals["cond2"] = row_sum(series["cond2"])
+        return totals
+
+    def _fairness_summary(self, ipcs: List[float], out: Dict) -> Dict:
+        throughput = list(ipcs)
+        if self.baseline_ipcs is not None:
+            throughput = [
+                value / base if base > 0 else 0.0
+                for value, base in zip(throughput, self.baseline_ipcs)
+            ]
+        summary = {"jain_overall": jain_index(throughput)}
+        window_jain = out["series"].get("jain_fairness")
+        if window_jain:
+            summary["jain_min_window"] = min(window_jain)
+        return summary
+
+
+# ---------------------------------------------------------------------- #
+# Cross-process aggregation (repro.experiments.parallel workers snapshot;
+# the runner merges one aggregate per experiment).
+# ---------------------------------------------------------------------- #
+
+def merge_snapshots(snapshots: Sequence[Dict]) -> Dict:
+    """Fold per-point metrics snapshots into one experiment aggregate."""
+    points = [snap for snap in snapshots if snap is not None]
+    totals = {
+        "instructions": 0,
+        "measured_cycles": 0,
+        "loads": 0,
+        "cond1": 0,
+        "cond2": 0,
+        "events_seen": 0,
+    }
+    for snap in points:
+        totals["instructions"] += sum(snap.get("instructions", ()))
+        totals["measured_cycles"] += snap.get("measured_cycles", 0)
+        totals["events_seen"] += snap.get("events_seen", 0)
+        snap_totals = snap.get("totals", {})
+        totals["loads"] += sum(snap_totals.get("loads", ()))
+        totals["cond1"] += sum(snap_totals.get("cond1", ()))
+        totals["cond2"] += sum(snap_totals.get("cond2", ()))
+    return {
+        "schema": AGGREGATE_SCHEMA,
+        "points": len(points),
+        "totals": totals,
+        "per_point": list(points),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text exposition (one final scrape per run).
+# ---------------------------------------------------------------------- #
+
+def _prom_line(name: str, labels: Dict[str, object], value) -> str:
+    rendered = ",".join(f'{key}="{val}"' for key, val in labels.items())
+    body = f"{{{rendered}}}" if rendered else ""
+    return f"{name}{body} {value}"
+
+
+def to_prometheus(snapshot: Dict) -> str:
+    """Render a metrics snapshot as Prometheus text exposition format.
+
+    Simulated runs end, so the export is a single scrape of final
+    values: whole-run counters as ``_total`` counters, end-of-run gauges
+    as gauges.  Validated by ``repro.telemetry.validate``.
+    """
+    lines: List[str] = []
+
+    def family(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    n = snapshot.get("n_threads", 0)
+    family("repro_thread_ipc", "gauge",
+           "Per-thread IPC over the measurement interval")
+    for tid, value in enumerate(snapshot.get("ipcs", ())):
+        lines.append(_prom_line("repro_thread_ipc", {"thread": tid}, value))
+    family("repro_thread_instructions_total", "counter",
+           "Instructions committed per thread in the measurement interval")
+    for tid, value in enumerate(snapshot.get("instructions", ())):
+        lines.append(_prom_line("repro_thread_instructions_total",
+                                {"thread": tid}, value))
+    totals = snapshot.get("totals", {})
+    if "service_cycles" in totals:
+        family("repro_service_cycles_total", "counter",
+               "Granted service cycles per shared resource per thread")
+        for track, row in totals["service_cycles"].items():
+            for tid in range(n):
+                lines.append(_prom_line(
+                    "repro_service_cycles_total",
+                    {"resource": track, "thread": tid}, row[tid]))
+    if "loads" in totals:
+        family("repro_loads_retired_total", "counter",
+               "Demand+prefetch loads retired per thread")
+        for tid, value in enumerate(totals["loads"]):
+            lines.append(_prom_line("repro_loads_retired_total",
+                                    {"thread": tid}, value))
+    if "cond1" in totals:
+        family("repro_capacity_victimizations_total", "counter",
+               "VPC Capacity Manager victimizations by condition")
+        for cond in ("cond1", "cond2"):
+            for tid, value in enumerate(totals[cond]):
+                lines.append(_prom_line(
+                    "repro_capacity_victimizations_total",
+                    {"condition": cond, "thread": tid}, value))
+    fairness = snapshot.get("fairness", {})
+    if fairness:
+        family("repro_fairness_jain", "gauge",
+               "Jain fairness index of per-thread (normalized) throughput")
+        lines.append(_prom_line("repro_fairness_jain", {},
+                                fairness.get("jain_overall", 0.0)))
+    if snapshot.get("baseline_ipcs"):
+        family("repro_thread_slowdown", "gauge",
+               "Solo-run baseline IPC divided by observed IPC")
+        for tid, (base, ipc) in enumerate(
+            zip(snapshot["baseline_ipcs"], snapshot.get("ipcs", ()))
+        ):
+            value = base / ipc if ipc > 0 else float("inf")
+            lines.append(_prom_line("repro_thread_slowdown",
+                                    {"thread": tid}, value))
+    attribution = snapshot.get("attribution")
+    if attribution:
+        family("repro_interference_cycles_total", "counter",
+               "Queueing cycles victim threads lost to aggressor grants")
+        for resource, data in sorted(attribution.get("resources", {}).items()):
+            matrix = data.get("matrix", ())
+            for victim, row in enumerate(matrix):
+                for aggressor, value in enumerate(row):
+                    if victim == aggressor:
+                        continue
+                    lines.append(_prom_line(
+                        "repro_interference_cycles_total",
+                        {"resource": resource, "victim": victim,
+                         "aggressor": aggressor}, value))
+    return "\n".join(lines) + "\n"

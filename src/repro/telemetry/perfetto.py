@@ -94,6 +94,15 @@ def _json_args(args: dict) -> dict:
     return out
 
 
+def _counter_args(args: dict) -> dict:
+    """Counter ('C') args: every key is a numeric series — drop the
+    rest, or Perfetto renders the track as garbage."""
+    return {
+        key: value for key, value in args.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
 def chrome_trace(events: Iterable[TraceEvent]) -> List[dict]:
     """Convert an event stream to a trace_event list (JSON-ready).
 
@@ -127,7 +136,9 @@ def chrome_trace(events: Iterable[TraceEvent]) -> List[dict]:
         elif event.phase == PH_INSTANT:
             record["s"] = "t"
         if event.args:
-            record["args"] = _json_args(event.args)
+            record["args"] = (_counter_args(event.args)
+                              if event.phase == PH_COUNTER
+                              else _json_args(event.args))
         if event.ts + event.dur > last_ts:
             last_ts = event.ts + event.dur
         if event.phase == PH_BEGIN:

@@ -1,20 +1,32 @@
-"""Chrome ``trace_event`` schema validation (used by the CI trace-smoke).
+"""Telemetry artifact validation (used by the CI trace/report smokes).
 
-The format has no official JSON Schema; this validates the subset the
-exporter produces and Perfetto requires: the container shape, the
-per-record required keys, phase-specific fields (``dur`` for ``X``,
-``id`` for ``b``/``e``, ``s`` for ``i``, ``args.name`` for metadata),
-and that every async begin has a matching end within its
-``(cat, id)`` pair.
+Three validators, one CLI:
 
-Run as a module for CI::
+* :func:`validate_chrome_trace` — the Chrome ``trace_event`` subset the
+  exporter produces and Perfetto requires: container shape, per-record
+  required keys, phase-specific fields (``dur`` for ``X``, ``id`` for
+  ``b``/``e``, ``s`` for ``i``, numeric-only ``args`` series for ``C``
+  counters, ``args.name`` for metadata), and balanced async spans per
+  ``(cat, id)`` pair.
+* :func:`validate_metrics_json` — ``repro.metrics/1`` snapshots from
+  ``--metrics``: schema tag, series shapes, and the attribution
+  conservation identity when an attribution section is present.
+* :func:`validate_prometheus` — Prometheus text exposition from
+  ``--prometheus``: sample-line grammar, numeric values, and that every
+  sampled family was declared with ``# TYPE`` first.
+
+Run as a module for CI (the artifact kind is inferred from content, or
+forced with ``--trace`` / ``--metrics`` / ``--prometheus``)::
 
     python -m repro.telemetry.validate trace.json
+    python -m repro.telemetry.validate metrics.json
+    python -m repro.telemetry.validate --prometheus metrics.prom
 """
 
 from __future__ import annotations
 
 import json
+import re
 import sys
 from typing import Dict, List, Tuple
 
@@ -72,6 +84,19 @@ def validate_chrome_trace(payload) -> List[str]:
         elif phase in ("i", "I"):
             if record.get("s") not in (None, "t", "p", "g"):
                 errors.append(f"{where}: bad instant scope {record.get('s')!r}")
+        elif phase == "C":
+            args = record.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: counter without args series")
+            else:
+                for key, value in args.items():
+                    if isinstance(value, bool) or not isinstance(
+                        value, (int, float)
+                    ):
+                        errors.append(
+                            f"{where}: counter series {key!r} has "
+                            f"non-numeric value {value!r}"
+                        )
 
     for span, depth in open_spans.items():
         if depth:
@@ -79,23 +104,269 @@ def validate_chrome_trace(payload) -> List[str]:
     return errors
 
 
+_METRICS_SCHEMAS = ("repro.metrics/1",)
+_AGGREGATE_SCHEMAS = ("repro.metrics-aggregate/1",)
+
+
+def _check_thread_rows(errors, series, key, n_threads, windows, where):
+    rows = series.get(key)
+    if rows is None:
+        return
+    if not isinstance(rows, list) or len(rows) != n_threads:
+        errors.append(f"{where}.{key}: expected {n_threads} thread rows")
+        return
+    for tid, row in enumerate(rows):
+        if not isinstance(row, list):
+            errors.append(f"{where}.{key}[{tid}]: not a list")
+        elif windows is not None and len(row) != windows:
+            errors.append(
+                f"{where}.{key}[{tid}]: {len(row)} windows, "
+                f"expected {windows}"
+            )
+
+
+def _check_attribution(errors, attribution, where="attribution"):
+    n_threads = attribution.get("n_threads")
+    if not isinstance(n_threads, int) or n_threads < 1:
+        errors.append(f"{where}: bad n_threads {n_threads!r}")
+        return
+    for section in ("resources", "tracks"):
+        for name, data in (attribution.get(section) or {}).items():
+            matrix = data.get("matrix")
+            delay = data.get("queueing_delay")
+            idle = data.get("idle_wait")
+            spot = f"{where}.{section}[{name}]"
+            if (not isinstance(matrix, list) or len(matrix) != n_threads
+                    or any(not isinstance(row, list)
+                           or len(row) != n_threads for row in matrix)):
+                errors.append(f"{spot}: matrix is not {n_threads}x{n_threads}")
+                continue
+            if (not isinstance(delay, list) or len(delay) != n_threads
+                    or not isinstance(idle, list) or len(idle) != n_threads):
+                errors.append(f"{spot}: delay/idle rows malformed")
+                continue
+            # The conservation identity the attributor promises: every
+            # observed queueing cycle is either charged to a grant or
+            # explicitly idle.
+            for tid in range(n_threads):
+                attributed = sum(matrix[tid]) + idle[tid]
+                if attributed != delay[tid]:
+                    errors.append(
+                        f"{spot} thread {tid}: attributed {attributed} != "
+                        f"queueing delay {delay[tid]} (conservation broken)"
+                    )
+                if idle[tid] < 0:
+                    errors.append(
+                        f"{spot} thread {tid}: negative idle wait {idle[tid]}"
+                    )
+
+
+def _validate_metrics_point(payload, errors, where) -> None:
+    n_threads = payload.get("n_threads")
+    if not isinstance(n_threads, int) or n_threads < 1:
+        errors.append(f"{where}: bad n_threads {n_threads!r}")
+        return
+    window = payload.get("window")
+    if not isinstance(window, int) or window < 1:
+        errors.append(f"{where}: bad window {window!r}")
+    for key in ("ipcs", "instructions"):
+        values = payload.get(key)
+        if not isinstance(values, list) or len(values) != n_threads:
+            errors.append(f"{where}: {key!r} is not a {n_threads}-list")
+    series = payload.get("series")
+    if not isinstance(series, dict):
+        errors.append(f"{where}: missing 'series' object")
+        return
+    windows = payload.get("windows")
+    for key in ("service_cycles",):
+        for track, rows in (series.get(key) or {}).items():
+            _check_thread_rows(errors, {track: rows}, track, n_threads,
+                               windows, f"{where}.series.{key}")
+    for key in ("utilization", "queue_depth_max", "mshr_max"):
+        for track, row in (series.get(key) or {}).items():
+            if windows is not None and len(row) != windows:
+                errors.append(
+                    f"{where}.series.{key}[{track}]: {len(row)} windows, "
+                    f"expected {windows}"
+                )
+    for key in ("loads", "load_latency_sum", "cond1", "cond2"):
+        _check_thread_rows(errors, series, key, n_threads, windows,
+                           f"{where}.series")
+    samples = payload.get("sample_cycles")
+    if samples is not None:
+        intervals = len(samples) - 1
+        for key in ("ipc", "slowdown"):
+            _check_thread_rows(errors, series, key, n_threads, intervals,
+                               f"{where}.series")
+        _check_thread_rows(errors, series, "l2_ways", n_threads,
+                           len(samples), f"{where}.series")
+    attribution = payload.get("attribution")
+    if attribution is not None:
+        _check_attribution(errors, attribution, f"{where}.attribution")
+
+
+def validate_metrics_json(payload) -> List[str]:
+    """Validate a ``--metrics`` JSON snapshot (or experiment aggregate).
+
+    Checks the schema tag, per-thread/per-window series shapes, and —
+    when an attribution section is embedded — re-verifies the
+    charge-conservation identity from the serialized numbers alone.
+    """
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"metrics must be an object, got {type(payload).__name__}"]
+    schema = payload.get("schema")
+    if schema in _AGGREGATE_SCHEMAS:
+        points = payload.get("per_point")
+        if not isinstance(points, list):
+            return ["aggregate has no 'per_point' list"]
+        if payload.get("points") != len(points):
+            errors.append(
+                f"aggregate 'points' {payload.get('points')!r} != "
+                f"{len(points)} per_point entries"
+            )
+        for index, point in enumerate(points):
+            if point.get("schema") not in _METRICS_SCHEMAS:
+                errors.append(
+                    f"per_point[{index}]: bad schema "
+                    f"{point.get('schema')!r}"
+                )
+                continue
+            _validate_metrics_point(point, errors, f"per_point[{index}]")
+        attribution = payload.get("attribution")
+        if attribution is not None:
+            _check_attribution(errors, attribution)
+        return errors
+    if schema not in _METRICS_SCHEMAS:
+        return [f"unknown metrics schema {schema!r}"]
+    _validate_metrics_point(payload, errors, "snapshot")
+    return errors
+
+
+_PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_PROM_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+
+
+def validate_prometheus(text: str) -> List[str]:
+    """Validate Prometheus text exposition from ``--prometheus``.
+
+    Checks the sample-line grammar (metric name, optional ``{k="v"}``
+    label set, float-parseable value) and that each family's samples are
+    preceded by its ``# TYPE`` declaration.
+    """
+    errors: List[str] = []
+    typed = set()
+    samples = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[2]:
+                errors.append(f"line {number}: malformed {parts[1]} comment")
+                continue
+            if parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                    errors.append(
+                        f"line {number}: unknown TYPE {parts[3]!r}")
+                typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _PROM_SAMPLE.match(line)
+        if match is None:
+            errors.append(f"line {number}: unparseable sample {line!r}")
+            continue
+        if match.group("name") not in typed:
+            errors.append(
+                f"line {number}: sample for {match.group('name')!r} "
+                "before its # TYPE declaration"
+            )
+        labels = match.group("labels")
+        if labels:
+            for pair in labels.split(","):
+                if not _PROM_LABEL.match(pair):
+                    errors.append(f"line {number}: bad label pair {pair!r}")
+        value = match.group("value")
+        try:
+            float(value)
+        except ValueError:
+            if value not in ("+Inf", "-Inf", "NaN", "inf", "-inf", "nan"):
+                errors.append(f"line {number}: non-numeric value {value!r}")
+        samples += 1
+    if not samples:
+        errors.append("no samples in exposition")
+    return errors
+
+
+_USAGE = ("usage: python -m repro.telemetry.validate "
+          "[--trace|--metrics|--prometheus] <artifact>")
+
+
+def _detect_kind(path: str, payload) -> str:
+    if payload is None:
+        return "prometheus"
+    if isinstance(payload, dict):
+        schema = payload.get("schema")
+        if isinstance(schema, str) and schema.startswith("repro."):
+            return "metrics"
+    return "trace"
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if len(argv) != 1:
-        print("usage: python -m repro.telemetry.validate <trace.json>",
-              file=sys.stderr)
+    kind = None
+    flags = {"--trace": "trace", "--metrics": "metrics",
+             "--prometheus": "prometheus"}
+    paths = []
+    for token in argv:
+        if token in flags:
+            kind = flags[token]
+        else:
+            paths.append(token)
+    if len(paths) != 1:
+        print(_USAGE, file=sys.stderr)
         return 2
-    with open(argv[0], encoding="utf-8") as fh:
-        payload = json.load(fh)
-    errors = validate_chrome_trace(payload)
-    events = payload.get("traceEvents", payload) if isinstance(payload, dict) \
-        else payload
+    path = paths[0]
+    payload = None
+    if kind != "prometheus":
+        # .prom files are not JSON; anything else is sniffed from its
+        # parsed content (metrics snapshots carry a repro.* schema tag).
+        if path.endswith(".prom"):
+            kind = kind or "prometheus"
+        else:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+    if kind is None:
+        kind = _detect_kind(path, payload)
+    if kind == "prometheus":
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        errors = validate_prometheus(text)
+        count = sum(1 for line in text.splitlines()
+                    if line.strip() and not line.startswith("#"))
+        noun = "exposition samples"
+    elif kind == "metrics":
+        errors = validate_metrics_json(payload)
+        count = payload.get("points", 1) if isinstance(payload, dict) else 0
+        noun = "metric points"
+    else:
+        errors = validate_chrome_trace(payload)
+        events = payload.get("traceEvents", payload) \
+            if isinstance(payload, dict) else payload
+        count = len(events) if isinstance(events, list) else 0
+        noun = "trace events"
     if errors:
         for error in errors[:40]:
             print(f"INVALID: {error}", file=sys.stderr)
-        print(f"{len(errors)} schema problems in {argv[0]}", file=sys.stderr)
+        print(f"{len(errors)} schema problems in {path}", file=sys.stderr)
         return 1
-    print(f"OK: {argv[0]} valid ({len(events)} trace events)")
+    print(f"OK: {path} valid ({count} {noun})")
     return 0
 
 
