@@ -1,0 +1,87 @@
+"""Compare a pytest-benchmark JSON run against a stored baseline.
+
+CI runs the engine benchmarks with ``--benchmark-json`` every push and
+then calls this script to hold the line on throughput: any benchmark
+whose median runtime regressed more than the threshold (default 20%)
+against ``benchmarks/BENCH_engine.json`` fails the job.  Benchmarks
+present on only one side are reported but never fail the run — adding
+a benchmark must not require regenerating the baseline in the same PR.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
+        [--threshold 0.20]
+
+The baseline is refreshed deliberately (run the suite with
+``--benchmark-json=benchmarks/BENCH_engine.json`` and commit) whenever
+a PR intentionally trades throughput, so the diff shows the new floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    """Benchmark name -> median seconds from a pytest-benchmark JSON."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    medians = {}
+    for bench in payload.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        median = stats.get("median")
+        if median:
+            medians[bench["name"]] = float(median)
+    return medians
+
+
+def compare(baseline: Dict[str, float], current: Dict[str, float],
+            threshold: float) -> int:
+    """Print a per-benchmark verdict table; return the exit code."""
+    failures = 0
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("compare_bench: no benchmarks in common; nothing to hold",
+              file=sys.stderr)
+        return 2
+    width = max(len(name) for name in shared)
+    for name in shared:
+        old, new = baseline[name], current[name]
+        ratio = new / old
+        regressed = ratio > 1.0 + threshold
+        verdict = "REGRESSED" if regressed else "ok"
+        print(f"  {name:<{width}}  {old * 1e3:9.3f}ms -> {new * 1e3:9.3f}ms "
+              f"({ratio:6.2f}x)  {verdict}")
+        if regressed:
+            failures += 1
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name:<{width}}  (new benchmark, no baseline)")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  {name:<{width}}  (baseline only, not run)")
+    if failures:
+        print(f"{failures} benchmark(s) regressed more than "
+              f"{threshold:.0%} vs the stored baseline", file=sys.stderr)
+        return 1
+    print(f"all {len(shared)} shared benchmarks within {threshold:.0%} "
+          "of baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on >threshold median regressions vs a stored "
+                    "pytest-benchmark baseline.")
+    parser.add_argument("baseline", help="stored baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional slowdown (default 0.20)")
+    args = parser.parse_args(argv)
+    return compare(load_medians(args.baseline), load_medians(args.current),
+                   args.threshold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -116,6 +116,53 @@ def test_trace_disabled_overhead_under_two_percent():
     )
 
 
+def _serve_disabled_step(system, cycles, feed=None, on_window=None):
+    """The exact control flow the live plane (``--serve``) adds to the
+    hot drivers when it is *off*: None-guards around an unchanged
+    ``run()`` (see run_simulation / run_point).  Anything heavier than
+    these two tests would break the disabled-path contract."""
+    if feed is not None and on_window is None:
+        raise ValueError("a live feed requires a window callback")
+    if on_window is not None:
+        raise ValueError("benchmark covers the disabled path only")
+    system.run(cycles)
+
+
+def test_serve_disabled_overhead_under_two_percent():
+    """The --serve analog of the tracing guard above: with no telemetry
+    server configured, the engine must run within 2% of a bare ``run()``
+    loop.  Same interleaved min-of-rounds harness; this trips if the
+    streaming hooks ever grow eager work (snapshotting, queue probes)
+    on the disabled path instead of staying behind ``is not None``."""
+    def timed_bare(system, cycles=2_000):
+        start = time.perf_counter()
+        system.run(cycles)
+        return time.perf_counter() - start
+
+    def timed_disabled(system, cycles=2_000):
+        start = time.perf_counter()
+        _serve_disabled_step(system, cycles)
+        return time.perf_counter() - start
+
+    baseline_system = _fresh_system()
+    disabled_system = _fresh_system()
+    ratios = []
+    for _ in range(6):
+        baseline_total = disabled_total = 0.0
+        for chunk_index in range(10):
+            if chunk_index % 2 == 0:
+                baseline_total += timed_bare(baseline_system)
+                disabled_total += timed_disabled(disabled_system)
+            else:
+                disabled_total += timed_disabled(disabled_system)
+                baseline_total += timed_bare(baseline_system)
+        ratios.append(disabled_total / baseline_total)
+    assert min(ratios) <= 1.02, (
+        f"serve-disabled engine is >2% slower than the bare run loop "
+        f"in every round: ratios {[f'{r:.3f}' for r in ratios]}"
+    )
+
+
 def test_bench_traced_simulation(benchmark):
     """The same 2-thread CMP with full tracing enabled into a ring
     buffer — the cost of turning observability *on* (not bounded; the

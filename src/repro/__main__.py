@@ -1,4 +1,16 @@
-"""Entry point for ``python -m repro``."""
+"""Entry point for ``python -m repro``.
+
+``python -m repro top ...`` dispatches to the live dashboard
+(:mod:`repro.telemetry.dashboard`); anything else is a simulation run
+(:mod:`repro.cli`).
+"""
+
+import sys
+
+if len(sys.argv) > 1 and sys.argv[1] == "top":
+    from repro.telemetry.dashboard import main as top_main
+
+    raise SystemExit(top_main(sys.argv[2:]))
 
 from repro.cli import main
 

@@ -103,6 +103,19 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="CYCLES",
                         help="metrics/QoS-audit window in cycles "
                              "(default 2000)")
+    parser.add_argument("--serve", type=int, default=None, metavar="PORT",
+                        help="serve live telemetry over HTTP while the "
+                             "simulation runs (/metrics /healthz /snapshot "
+                             "/events; 0 = auto-assign a port, printed; "
+                             "implies metrics collection)")
+    parser.add_argument("--serve-linger", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="keep the telemetry server up this long after "
+                             "the run completes (scrape/smoke-test window)")
+    parser.add_argument("--stale-after", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="heartbeat age after which /healthz reports "
+                             "the run degraded (default 30)")
     return parser
 
 
@@ -130,7 +143,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for tid, name in enumerate(args.workloads)
     ]
 
-    observe = bool(args.metrics or args.prometheus or args.report is not None)
+    observe = bool(args.metrics or args.prometheus
+                   or args.report is not None or args.serve is not None)
 
     # Target IPCs (one private-equivalent run per thread) come first so
     # the metrics collector can track slowdown-vs-solo live.
@@ -186,9 +200,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     if observe and args.arbiter == "vpc":
         from repro.core.monitor import QoSMonitor
         monitor = QoSMonitor(system, window=args.metrics_window)
+
+    live = server = None
+    on_window = None
+    if args.serve is not None:
+        import os
+
+        from repro.telemetry import LiveRun, TelemetryServer
+        live = LiveRun(stale_after=args.stale_after)
+        server = TelemetryServer(live, port=args.serve)
+        server.start()
+        # Printed (and flushed) before the run so scrapers can find the
+        # auto-assigned port while the simulation is still in flight.
+        print(f"serving telemetry on {server.url} "
+              "(/metrics /healthz /snapshot /events)", flush=True)
+        live.begin_run(" ".join(args.workloads))
+        live.begin_batch(1)
+        worker = os.getpid()
+        live.put(("start", 0, worker))
+        violations_sent = 0
+
+        def on_window(cycle: int) -> None:
+            nonlocal violations_sent
+            snapshot = collector.snapshot()
+            if attributor is not None:
+                snapshot["attribution"] = attributor.snapshot()
+                snapshot["arbiter"] = args.arbiter
+            live.put(("window", 0, worker, cycle, snapshot))
+            if monitor is not None:
+                monitor.finish(cycle)
+                from dataclasses import asdict
+                for violation in monitor.violations[violations_sent:]:
+                    live.put(("violation", 0, worker, asdict(violation)))
+                violations_sent = len(monitor.violations)
+
     started = time.monotonic()
     result = run_simulation(system, warmup=args.warmup, measure=args.cycles,
-                            metrics=collector)
+                            metrics=collector, on_window=on_window)
     wall_time = time.monotonic() - started
     if attributor is not None:
         attributor.finish(system.cycle)
@@ -196,6 +244,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         result.metrics["arbiter"] = args.arbiter
     if monitor is not None:
         monitor.finish(system.cycle)
+    if live is not None:
+        live.point_done(0, result.metrics)
+        live.finish_run()
 
     print(f"{n_threads}-thread CMP, {args.banks} banks, arbiter={args.arbiter}"
           f" ({args.cycles} measured cycles after {args.warmup} warmup)")
@@ -270,6 +321,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             manifest.write(args.manifest)
             print(f"  manifest -> {args.manifest}")
+    if server is not None:
+        if args.serve_linger > 0:
+            print(f"  telemetry server lingering {args.serve_linger:.0f}s "
+                  f"at {server.url}", flush=True)
+            time.sleep(args.serve_linger)
+        server.stop()
     return 0
 
 

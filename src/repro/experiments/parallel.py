@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
@@ -61,6 +62,10 @@ _telemetry = None
 # explicit run_point argument, never as process-global state) and the
 # snapshot rides back on SimulationResult.metrics.
 _metrics_window: Optional[int] = None
+# Live observability feed (repro.telemetry.server.LiveRun) for --serve:
+# workers stream per-window snapshots/heartbeats/QoS violations to it
+# mid-point.  Requires metrics collection; reset by every configure().
+_live = None
 
 #: hits/misses observability (tests assert on this; reset via configure).
 cache_stats: Dict[str, int] = {"hits": 0, "misses": 0}
@@ -77,13 +82,18 @@ def configure(
     progress=None,
     telemetry=None,
     metrics: Optional[int] = None,
+    live=None,
 ) -> None:
     """Set the process-wide execution policy (``jobs=0`` → all CPUs).
 
     ``metrics`` is a cycle-window size enabling per-point metrics
-    collection; like the observers it is reset by every call.
+    collection; like the observers it is reset by every call.  ``live``
+    is a :class:`repro.telemetry.server.LiveRun` feed for the ``--serve``
+    observability plane — it needs window snapshots to stream, so it
+    requires ``metrics``.
     """
     global _jobs, _cache_enabled, _progress, _telemetry, _metrics_window
+    global _live
     if jobs is not None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
@@ -92,12 +102,20 @@ def configure(
         _cache_enabled = cache
     if metrics is not None and metrics < 1:
         raise ValueError(f"metrics window must be >= 1 cycle, got {metrics}")
+    if live is not None and metrics is None:
+        raise ValueError("live streaming requires a metrics window")
     _progress = progress
     _telemetry = telemetry
     _metrics_window = metrics
+    _live = live
     cache_stats["hits"] = 0
     cache_stats["misses"] = 0
     metrics_log.clear()
+
+
+def configured_live():
+    """The LiveRun feed configured for this process, if any."""
+    return _live
 
 
 def drain_metrics() -> List[Dict]:
@@ -170,7 +188,10 @@ def _build_trace(spec: Tuple, thread_id: int):
 
 
 def run_point(
-    point: SimPoint, metrics_window: Optional[int] = None
+    point: SimPoint,
+    metrics_window: Optional[int] = None,
+    feed=None,
+    index: Optional[int] = None,
 ) -> SimulationResult:
     """Simulate one point from scratch (no cache involvement).
 
@@ -178,7 +199,16 @@ def run_point(
     collector plus interference attributor on a private bus — and the
     combined snapshot returns on ``SimulationResult.metrics`` (a plain
     dict, so it pickles home from worker processes).
+
+    ``feed`` is a queue-like live-observability sink (``put(tuple)``):
+    when given (requires ``metrics_window``), the point streams one
+    snapshot per measurement window plus QoS-violation instants while
+    it simulates, tagged with ``index`` (the point's global number in
+    its run) and this worker's pid.  Observation only — the simulated
+    result is bit-identical with or without a feed.
     """
+    if feed is not None and metrics_window is None:
+        raise ValueError("a live feed requires a metrics window")
     traces = [
         _build_trace(spec, tid) for tid, spec in enumerate(point.traces)
     ]
@@ -202,13 +232,43 @@ def run_point(
             point.config.n_threads, window=metrics_window))
         attributor = bus.attach(InterferenceAttributor(
             point.config.n_threads))
+    on_window = None
+    monitor = None
+    if feed is not None:
+        worker = os.getpid()
+        feed.put(("start", index, worker))
+        if point.config.arbiter == "vpc":
+            from repro.core.monitor import QoSMonitor
+            monitor = QoSMonitor(system, window=metrics_window)
+        violations_sent = 0
+
+        def on_window(cycle: int) -> None:
+            nonlocal violations_sent
+            snapshot = metrics.snapshot()
+            snapshot["attribution"] = attributor.snapshot()
+            snapshot["arbiter"] = point.config.arbiter
+            feed.put(("window", index, worker, cycle, snapshot))
+            if monitor is not None:
+                # Window boundaries close lazily on events; force the
+                # elapsed ones shut so fresh violations surface now.
+                monitor.finish(cycle)
+                for violation in monitor.violations[violations_sent:]:
+                    feed.put(("violation", index, worker,
+                              asdict(violation)))
+                violations_sent = len(monitor.violations)
+
     result = run_simulation(
-        system, warmup=point.warmup, measure=point.measure, metrics=metrics
+        system, warmup=point.warmup, measure=point.measure, metrics=metrics,
+        on_window=on_window,
     )
     if attributor is not None:
         attributor.finish(system.cycle)
         result.metrics["attribution"] = attributor.snapshot()
         result.metrics["arbiter"] = point.config.arbiter
+    if monitor is not None:
+        monitor.finish(system.cycle)
+        for violation in monitor.violations[violations_sent:]:
+            feed.put(("violation", index, os.getpid(), asdict(violation)))
     return result
 
 
@@ -278,6 +338,8 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
     progress = _progress
     telemetry = _telemetry
     metrics_window = _metrics_window
+    live = _live
+    base = live.begin_batch(len(points)) if live is not None else 0
     # Metrics runs bypass the cache entirely: cached results carry no
     # snapshots, and polluting the cache with observed runs would make
     # hit results depend on observability settings.
@@ -318,25 +380,60 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
                 dur=max(1, wall_us() - started_us),
                 args={"point": index},
             ))
+        if live is not None:
+            live.point_done(base + index, result.metrics)
         if progress is not None:
             progress.point_done(cached=False)
 
     if len(todo) > 1 and _jobs > 1:
-        with ProcessPoolExecutor(max_workers=min(_jobs, len(todo))) as pool:
-            pending = {}
-            for index in todo:
-                pending[pool.submit(run_point, points[index],
-                                    metrics_window)] = (
-                    index, wall_us()
-                )
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, started_us = pending.pop(future)
-                    finish(index, future.result(), started_us)
+        feed = drainer = stop_draining = manager = None
+        if live is not None:
+            # Workers stream through a managed queue (picklable proxy);
+            # this drainer translates the wire tuples into LiveRun calls
+            # with the parent's clock and polls for stale heartbeats.
+            import multiprocessing
+            manager = multiprocessing.Manager()
+            feed = manager.Queue()
+            stop_draining = threading.Event()
+
+            def drain() -> None:
+                import queue as _queue
+                while True:
+                    try:
+                        live.put(feed.get(timeout=0.2))
+                    except _queue.Empty:
+                        if stop_draining.is_set():
+                            return
+                        live.check_stale()
+
+            drainer = threading.Thread(target=drain, name="repro-live-drain",
+                                       daemon=True)
+            drainer.start()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(_jobs, len(todo))
+            ) as pool:
+                pending = {}
+                for index in todo:
+                    pending[pool.submit(run_point, points[index],
+                                        metrics_window, feed,
+                                        base + index)] = (
+                        index, wall_us()
+                    )
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index, started_us = pending.pop(future)
+                        finish(index, future.result(), started_us)
+        finally:
+            if drainer is not None:
+                stop_draining.set()
+                drainer.join(timeout=10.0)
+                manager.shutdown()
     else:
         for index in todo:
-            finish(index, run_point(points[index], metrics_window),
+            finish(index, run_point(points[index], metrics_window, live,
+                                    base + index),
                    wall_us())
     if metrics_window is not None:
         metrics_log.extend(

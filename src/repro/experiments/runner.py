@@ -37,6 +37,9 @@ def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
             f"unknown experiment {exp_id!r}; known: {sorted(REGISTRY)}"
         )
     cache_before = dict(parallel.cache_stats)
+    live = parallel.configured_live()
+    if live is not None:
+        live.begin_run(exp_id)
     started = time.monotonic()
     result = REGISTRY[exp_id](fast=fast)
     snapshots = parallel.drain_metrics()
@@ -47,6 +50,9 @@ def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
             [snap.get("attribution") for snap in snapshots]
         )
         result.metrics = aggregate
+    if live is not None:
+        # /snapshot now serves the exact aggregate written to disk.
+        live.finish_run(result.metrics)
     result.manifest = RunManifest.collect(
         kernel="event",
         cache={
@@ -102,11 +108,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                         metavar="CYCLES",
                         help="metrics aggregation window in cycles "
                              "(default 2000)")
+    parser.add_argument("--serve", type=int, default=None, metavar="PORT",
+                        help="serve live fleet telemetry over HTTP while "
+                             "experiments run (/metrics /healthz /snapshot "
+                             "/events; 0 = auto-assign a port, printed; "
+                             "implies metrics collection)")
+    parser.add_argument("--serve-linger", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="keep the telemetry server up this long after "
+                             "the last experiment completes")
+    parser.add_argument("--stale-after", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="worker heartbeat age after which /healthz "
+                             "reports the run degraded (default 30)")
     args = parser.parse_args(argv)
 
     progress = ring = None
     telemetry = None
-    if args.progress:
+    if args.progress or args.serve is not None:
         from repro.telemetry import ProgressReporter
         progress = ProgressReporter()
     if args.trace:
@@ -114,15 +133,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         telemetry = TelemetryBus()
         ring = telemetry.attach(RingBufferSink())
     metrics_window = None
-    if args.metrics is not None or args.report is not None:
+    if (args.metrics is not None or args.report is not None
+            or args.serve is not None):
         metrics_window = args.metrics_window
+    live = server = None
+    if args.serve is not None:
+        from repro.telemetry import LiveRun, TelemetryServer
+        live = LiveRun(stale_after=args.stale_after, progress=progress)
+        server = TelemetryServer(live, port=args.serve)
+        server.start()
+        print(f"serving telemetry on {server.url} "
+              "(/metrics /healthz /snapshot /events)", flush=True)
     parallel.configure(jobs=args.jobs, cache=not args.no_cache,
                        progress=progress, telemetry=telemetry,
-                       metrics=metrics_window)
+                       metrics=metrics_window, live=live)
 
     if args.list or not args.experiments:
         for exp_id in sorted(REGISTRY):
             print(exp_id)
+        if server is not None:
+            server.stop()
         return 0
 
     requested = args.experiments
@@ -180,6 +210,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         count = write_chrome_trace(args.trace, ring)
         print(f"trace: {count} events -> {args.trace} "
               "(open in ui.perfetto.dev)")
+    if server is not None:
+        if args.serve_linger > 0:
+            print(f"telemetry server lingering {args.serve_linger:.0f}s "
+                  f"at {server.url}", flush=True)
+            time.sleep(args.serve_linger)
+        server.stop()
     return 0
 
 

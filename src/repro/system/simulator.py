@@ -67,6 +67,7 @@ def run_simulation(
     warmup: int = 20_000,
     measure: int = 60_000,
     metrics=None,
+    on_window=None,
 ) -> SimulationResult:
     """Run ``system`` with a warmup phase, measuring the steady state.
 
@@ -77,9 +78,19 @@ def run_simulation(
     skip-ahead kernel's exactness contract — adaptation changes which
     cycles are *skipped*, never any simulated state), so sampling does
     not perturb the result.
+
+    ``on_window`` is an optional callback fired with the current cycle
+    after each window boundary's gauge sample — the streaming hook the
+    live observability plane (``--serve``) uses to flush per-window
+    snapshots mid-run.  It requires ``metrics`` (windows only exist in
+    chunked mode) and observes strictly after the chunk has simulated,
+    so it cannot perturb results; when ``None`` the cost is one ``is
+    not None`` test per window.
     """
     if warmup < 0 or measure <= 0:
         raise ValueError("warmup must be >= 0 and measure > 0")
+    if on_window is not None and metrics is None:
+        raise ValueError("on_window requires a metrics collector")
     system.run(warmup)
 
     n_threads = system.config.n_threads
@@ -99,6 +110,8 @@ def run_simulation(
             system.run(chunk)
             metrics.sample(system)
             remaining -= chunk
+            if on_window is not None:
+                on_window(system.cycle)
         metrics.finish(system.cycle)
 
     instructions = [

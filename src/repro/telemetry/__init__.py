@@ -47,6 +47,7 @@ from .report import (
     render_report_card,
     write_report,
 )
+from .server import LiveRun, TelemetryServer
 from .validate import validate_chrome_trace
 
 __all__ = [
@@ -63,5 +64,6 @@ __all__ = [
     "render_report_card", "render_fleet_card", "write_report",
     "chrome_trace", "write_chrome_trace",
     "ProgressReporter",
+    "LiveRun", "TelemetryServer",
     "validate_chrome_trace",
 ]

@@ -1,0 +1,225 @@
+"""``repro top`` — a live terminal dashboard over the telemetry server.
+
+Connects to a ``--serve`` endpoint (see :mod:`repro.telemetry.server`)
+and renders, refreshed as windows flush: per-thread IPC and
+normalized-vs-target QoS conformance, per-resource utilization,
+arbiter queue-depth high-water marks, and the current top
+victim×aggressor interference pair.  Pure stdlib — plain ANSI escapes
+when stdout is a TTY (no curses), one log line per refresh otherwise,
+so it pipes cleanly into files and CI logs.
+
+Usage::
+
+    python -m repro.experiments fig10 --jobs 4 --serve 9108 &
+    python -m repro top --url http://127.0.0.1:9108
+
+The renderer is a pure function of the two JSON documents the server
+serves (``/snapshot`` + ``/healthz``), so it is unit-testable without a
+socket.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Tuple
+
+CLEAR = "\x1b[H\x1b[2J"  # cursor home + clear screen
+
+
+# ---------------------------------------------------------------------- #
+# Snapshot digestion (pure helpers).
+# ---------------------------------------------------------------------- #
+
+def _per_point(snapshot: Dict) -> List[Dict]:
+    if snapshot.get("schema", "").startswith("repro.metrics-aggregate"):
+        return list(snapshot.get("per_point", ()))
+    return [snapshot] if snapshot else []
+
+
+def _active_point(points: List[Dict]) -> Tuple[Optional[int], Optional[Dict]]:
+    """The highest-indexed point with data — the most recently started."""
+    if not points:
+        return None, None
+    return len(points) - 1, points[-1]
+
+
+def top_interference_pair(
+    points: List[Dict],
+) -> Optional[Tuple[str, int, int, int]]:
+    """(resource, victim, aggressor, cycles) of the worst off-diagonal
+    interference cell across every point's attribution matrices."""
+    best: Optional[Tuple[str, int, int, int]] = None
+    for point in points:
+        attribution = point.get("attribution") or {}
+        for resource, data in (attribution.get("resources") or {}).items():
+            for victim, row in enumerate(data.get("matrix", ())):
+                for aggressor, cycles in enumerate(row):
+                    if victim == aggressor or not cycles:
+                        continue
+                    if best is None or cycles > best[3]:
+                        best = (resource, victim, aggressor, cycles)
+    return best
+
+
+def _last(series) -> float:
+    return series[-1] if series else 0.0
+
+
+def _thread_rows(point: Dict) -> List[str]:
+    n = point.get("n_threads", 0)
+    series = point.get("series", {})
+    ipc_series = series.get("ipc")
+    targets = point.get("baseline_ipcs")
+    header = "  thread   ipc(now)   ipc(run)"
+    if targets:
+        header += "     target       norm  qos"
+    rows = [header]
+    for tid in range(n):
+        now_ipc = _last(ipc_series[tid]) if ipc_series else 0.0
+        run_ipc = (point.get("ipcs") or [0.0] * n)[tid]
+        row = f"  t{tid:<6} {now_ipc:>8.4f}  {run_ipc:>9.4f}"
+        if targets:
+            target = targets[tid]
+            norm = run_ipc / target if target > 0 else 0.0
+            verdict = "met" if norm >= 1.0 else "LOW"
+            row += f"  {target:>9.4f}  {norm:>9.4f}  {verdict:>3}"
+        rows.append(row)
+    return rows
+
+
+def _utilization_rows(point: Dict, limit: int = 8) -> List[str]:
+    series = point.get("series", {})
+    utilization = series.get("utilization") or {}
+    queue_max = series.get("queue_depth_max") or {}
+    if not utilization and not queue_max:
+        return ["  (no window series yet)"]
+    rows = ["  resource            util(now)  queue-hwm"]
+    tracks = sorted(set(utilization) | set(queue_max))
+    for track in tracks[:limit]:
+        util = _last(utilization.get(track, ()))
+        hwm = max(queue_max.get(track, ()), default=0)
+        bar = "#" * max(0, min(10, round(util * 10)))
+        rows.append(f"  {track:<18} {util:>8.0%} {bar:<10} {hwm:>6}")
+    if len(tracks) > limit:
+        rows.append(f"  ... {len(tracks) - limit} more tracks")
+    return rows
+
+
+def render(snapshot: Dict, health: Dict) -> str:
+    """One dashboard frame from the server's two JSON documents."""
+    points = _per_point(snapshot or {})
+    status = health.get("status", "?")
+    done = health.get("points", {}).get("done", 0)
+    total = health.get("points", {}).get("total", 0)
+    workers = health.get("workers", {})
+    ages = [w.get("heartbeat_age_s", 0.0) for w in workers.values()]
+    stale = health.get("stale_workers") or []
+    lines = [
+        f"repro top — {health.get('run') or 'run'} [{status.upper()}]  "
+        f"points {done}/{total}  workers {len(workers)}"
+        + (f" (max heartbeat age {max(ages):.1f}s)" if ages else "")
+        + (f"  STALE: {stale}" if stale else ""),
+        f"violations {health.get('violations', 0)}  "
+        f"last window {health.get('last_window_age_s')}s ago  "
+        f"windows merged over {len(points)} point(s)",
+        "",
+    ]
+    index, point = _active_point(points)
+    if point is None:
+        lines.append("waiting for the first window flush...")
+        return "\n".join(lines) + "\n"
+    lines.append(f"point {index} (threads: {point.get('n_threads')}, "
+                 f"arbiter: {point.get('arbiter', '?')})")
+    lines.extend(_thread_rows(point))
+    lines.append("")
+    lines.extend(_utilization_rows(point))
+    pair = top_interference_pair(points)
+    lines.append("")
+    if pair is not None:
+        resource, victim, aggressor, cycles = pair
+        lines.append(f"top interference: {resource}: t{victim} <- "
+                     f"t{aggressor} ({cycles} cycles)")
+    else:
+        lines.append("top interference: (none recorded)")
+    return "\n".join(lines) + "\n"
+
+
+def render_log_line(snapshot: Dict, health: Dict) -> str:
+    """The non-TTY form: one grep-able status line per refresh."""
+    points = _per_point(snapshot or {})
+    done = health.get("points", {}).get("done", 0)
+    total = health.get("points", {}).get("total", 0)
+    pair = top_interference_pair(points)
+    pair_text = (f"{pair[0]}:t{pair[1]}<-t{pair[2]}({pair[3]}cyc)"
+                 if pair else "-")
+    _, point = _active_point(points)
+    ipcs = point.get("ipcs", []) if point else []
+    ipc_text = ",".join(f"{value:.3f}" for value in ipcs) or "-"
+    return (f"repro-top status={health.get('status', '?')} "
+            f"points={done}/{total} "
+            f"violations={health.get('violations', 0)} "
+            f"ipc=[{ipc_text}] top={pair_text}")
+
+
+# ---------------------------------------------------------------------- #
+# HTTP client loop.
+# ---------------------------------------------------------------------- #
+
+def _fetch_json(url: str, timeout: float) -> Dict:
+    """GET a JSON document; a 503 (degraded health) still has a body."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.load(response)
+    except urllib.error.HTTPError as error:
+        if error.code == 503:
+            return json.load(error)
+        raise
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro top",
+        description="Live dashboard over a --serve telemetry endpoint.",
+    )
+    parser.add_argument("--url", required=True,
+                        help="server base URL, e.g. http://127.0.0.1:9108")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="refresh period in seconds (default 1)")
+    parser.add_argument("--once", action="store_true",
+                        help="render a single frame and exit")
+    parser.add_argument("--plain", action="store_true",
+                        help="force log-line output even on a TTY")
+    args = parser.parse_args(argv)
+    base = args.url.rstrip("/")
+    tty = sys.stdout.isatty() and not args.plain
+
+    while True:
+        try:
+            snapshot = _fetch_json(f"{base}/snapshot", timeout=5.0)
+            health = _fetch_json(f"{base}/healthz", timeout=5.0)
+        except (urllib.error.URLError, OSError) as error:
+            print(f"repro top: cannot reach {base}: {error}",
+                  file=sys.stderr)
+            return 1
+        if tty:
+            sys.stdout.write(CLEAR + render(snapshot, health))
+        else:
+            sys.stdout.write(render_log_line(snapshot, health) + "\n")
+        sys.stdout.flush()
+        if args.once or health.get("status") == "finished":
+            if tty and health.get("status") == "finished":
+                sys.stdout.write("run finished.\n")
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,7 @@ text exposition with :func:`to_prometheus`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.stats import jain_index
 
@@ -354,7 +354,7 @@ def merge_snapshots(snapshots: Sequence[Dict]) -> Dict:
 
 
 # ---------------------------------------------------------------------- #
-# Prometheus text exposition (one final scrape per run).
+# Prometheus text exposition (final scrape, or live over /metrics).
 # ---------------------------------------------------------------------- #
 
 def _prom_line(name: str, labels: Dict[str, object], value) -> str:
@@ -363,79 +363,126 @@ def _prom_line(name: str, labels: Dict[str, object], value) -> str:
     return f"{name}{body} {value}"
 
 
-def to_prometheus(snapshot: Dict) -> str:
-    """Render a metrics snapshot as Prometheus text exposition format.
+class _Families:
+    """Sample lines grouped per metric family, declared exactly once.
 
-    Simulated runs end, so the export is a single scrape of final
-    values: whole-run counters as ``_total`` counters, end-of-run gauges
-    as gauges.  Validated by ``repro.telemetry.validate``.
+    Families render in first-encounter order, so a single-point export
+    is line-identical to the historical flat exposition, and a fleet
+    aggregate declares each ``# HELP``/``# TYPE`` once with every
+    point's samples under it (Prometheus rejects re-declarations).
     """
-    lines: List[str] = []
 
-    def family(name: str, kind: str, help_text: str) -> None:
-        lines.append(f"# HELP {name} {help_text}")
-        lines.append(f"# TYPE {name} {kind}")
+    def __init__(self) -> None:
+        self._order: List[str] = []
+        self._families: Dict[str, Tuple[str, str, List[str]]] = {}
+
+    def add(self, name: str, kind: str, help_text: str,
+            labels: Dict[str, object], value) -> None:
+        entry = self._families.get(name)
+        if entry is None:
+            entry = self._families[name] = (kind, help_text, [])
+            self._order.append(name)
+        entry[2].append(_prom_line(name, labels, value))
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for name in self._order:
+            kind, help_text, samples = self._families[name]
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.extend(samples)
+        return "\n".join(lines) + "\n"
+
+
+def _expose_point(snapshot: Dict, base: Dict, fam: _Families) -> None:
+    """Collect one point snapshot's samples, labelled with ``base``."""
+    def labelled(**labels) -> Dict[str, object]:
+        return {**base, **labels}
 
     n = snapshot.get("n_threads", 0)
-    family("repro_thread_ipc", "gauge",
-           "Per-thread IPC over the measurement interval")
     for tid, value in enumerate(snapshot.get("ipcs", ())):
-        lines.append(_prom_line("repro_thread_ipc", {"thread": tid}, value))
-    family("repro_thread_instructions_total", "counter",
-           "Instructions committed per thread in the measurement interval")
+        fam.add("repro_thread_ipc", "gauge",
+                "Per-thread IPC over the measurement interval",
+                labelled(thread=tid), value)
     for tid, value in enumerate(snapshot.get("instructions", ())):
-        lines.append(_prom_line("repro_thread_instructions_total",
-                                {"thread": tid}, value))
+        fam.add("repro_thread_instructions_total", "counter",
+                "Instructions committed per thread in the measurement "
+                "interval", labelled(thread=tid), value)
     totals = snapshot.get("totals", {})
-    if "service_cycles" in totals:
-        family("repro_service_cycles_total", "counter",
-               "Granted service cycles per shared resource per thread")
-        for track, row in totals["service_cycles"].items():
-            for tid in range(n):
-                lines.append(_prom_line(
-                    "repro_service_cycles_total",
-                    {"resource": track, "thread": tid}, row[tid]))
+    for track, row in totals.get("service_cycles", {}).items():
+        for tid in range(n):
+            fam.add("repro_service_cycles_total", "counter",
+                    "Granted service cycles per shared resource per thread",
+                    labelled(resource=track, thread=tid), row[tid])
     if "loads" in totals:
-        family("repro_loads_retired_total", "counter",
-               "Demand+prefetch loads retired per thread")
         for tid, value in enumerate(totals["loads"]):
-            lines.append(_prom_line("repro_loads_retired_total",
-                                    {"thread": tid}, value))
+            fam.add("repro_loads_retired_total", "counter",
+                    "Demand+prefetch loads retired per thread",
+                    labelled(thread=tid), value)
     if "cond1" in totals:
-        family("repro_capacity_victimizations_total", "counter",
-               "VPC Capacity Manager victimizations by condition")
         for cond in ("cond1", "cond2"):
             for tid, value in enumerate(totals[cond]):
-                lines.append(_prom_line(
-                    "repro_capacity_victimizations_total",
-                    {"condition": cond, "thread": tid}, value))
+                fam.add("repro_capacity_victimizations_total", "counter",
+                        "VPC Capacity Manager victimizations by condition",
+                        labelled(condition=cond, thread=tid), value)
     fairness = snapshot.get("fairness", {})
     if fairness:
-        family("repro_fairness_jain", "gauge",
-               "Jain fairness index of per-thread (normalized) throughput")
-        lines.append(_prom_line("repro_fairness_jain", {},
-                                fairness.get("jain_overall", 0.0)))
+        fam.add("repro_fairness_jain", "gauge",
+                "Jain fairness index of per-thread (normalized) throughput",
+                dict(base), fairness.get("jain_overall", 0.0))
     if snapshot.get("baseline_ipcs"):
-        family("repro_thread_slowdown", "gauge",
-               "Solo-run baseline IPC divided by observed IPC")
-        for tid, (base, ipc) in enumerate(
+        for tid, (target, ipc) in enumerate(
             zip(snapshot["baseline_ipcs"], snapshot.get("ipcs", ()))
         ):
-            value = base / ipc if ipc > 0 else float("inf")
-            lines.append(_prom_line("repro_thread_slowdown",
-                                    {"thread": tid}, value))
+            value = target / ipc if ipc > 0 else float("inf")
+            fam.add("repro_thread_slowdown", "gauge",
+                    "Solo-run baseline IPC divided by observed IPC",
+                    labelled(thread=tid), value)
     attribution = snapshot.get("attribution")
     if attribution:
-        family("repro_interference_cycles_total", "counter",
-               "Queueing cycles victim threads lost to aggressor grants")
         for resource, data in sorted(attribution.get("resources", {}).items()):
             matrix = data.get("matrix", ())
             for victim, row in enumerate(matrix):
                 for aggressor, value in enumerate(row):
                     if victim == aggressor:
                         continue
-                    lines.append(_prom_line(
-                        "repro_interference_cycles_total",
-                        {"resource": resource, "victim": victim,
-                         "aggressor": aggressor}, value))
-    return "\n".join(lines) + "\n"
+                    fam.add(
+                        "repro_interference_cycles_total", "counter",
+                        "Queueing cycles victim threads lost to aggressor "
+                        "grants",
+                        labelled(resource=resource, victim=victim,
+                                 aggressor=aggressor), value)
+
+
+def to_prometheus(snapshot: Dict) -> str:
+    """Render a metrics snapshot as Prometheus text exposition format.
+
+    Accepts either a single point snapshot (``repro.metrics/1`` —
+    whole-run counters as ``_total`` counters, end-of-run gauges as
+    gauges) or an experiment aggregate (``repro.metrics-aggregate/1``,
+    as served live by ``--serve``'s ``/metrics``): run-level totals plus
+    every per-point family labelled ``point="<index>"``.  Validated by
+    ``repro.telemetry.validate``.
+    """
+    fam = _Families()
+    if snapshot.get("schema") == AGGREGATE_SCHEMA:
+        fam.add("repro_run_points", "gauge",
+                "Simulation points contributing to this scrape",
+                {}, snapshot.get("points", 0))
+        totals = snapshot.get("totals", {})
+        for key, help_text in (
+            ("instructions", "Instructions committed across the fleet"),
+            ("measured_cycles", "Measured cycles summed across points"),
+            ("loads", "Loads retired across the fleet"),
+            ("cond1", "Condition-1 victimizations across the fleet"),
+            ("cond2", "Condition-2 victimizations across the fleet"),
+            ("events_seen", "Telemetry events aggregated across the fleet"),
+        ):
+            if key in totals:
+                fam.add(f"repro_run_{key}_total", "counter", help_text,
+                        {}, totals[key])
+        for index, point in enumerate(snapshot.get("per_point", ())):
+            _expose_point(point, {"point": index}, fam)
+    else:
+        _expose_point(snapshot, {}, fam)
+    return fam.render()

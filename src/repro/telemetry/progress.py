@@ -43,6 +43,21 @@ class ProgressReporter:
             self.cache_hits += 1
         self._report()
 
+    def stale_worker(self, worker: int, age: float) -> None:
+        """Warn that a worker's heartbeat went stale (live plane only).
+
+        Called by :meth:`repro.telemetry.server.LiveRun.check_stale`
+        when a worker has not flushed a window within the staleness
+        threshold — a hung or stopped process, or a point so large one
+        window outlasts the threshold.
+        """
+        prefix = f"{self.label}: " if self.label else ""
+        self.stream.write(
+            f"{prefix}WARNING: worker {worker} heartbeat stale "
+            f"({age:.1f}s without a window flush)\n"
+        )
+        self.stream.flush()
+
     def _eta_seconds(self) -> Optional[float]:
         if not self.done or self.done >= self.total:
             return None

@@ -336,12 +336,21 @@ def main(argv=None) -> int:
     payload = None
     if kind != "prometheus":
         # .prom files are not JSON; anything else is sniffed from its
-        # parsed content (metrics snapshots carry a repro.* schema tag).
+        # parsed content (metrics snapshots carry a repro.* schema tag;
+        # non-JSON text — e.g. a /metrics scrape saved under any name —
+        # classifies as Prometheus exposition).
         if path.endswith(".prom"):
             kind = kind or "prometheus"
         else:
             with open(path, encoding="utf-8") as fh:
-                payload = json.load(fh)
+                try:
+                    payload = json.load(fh)
+                except ValueError:
+                    if kind is not None:
+                        print(f"INVALID: {path} is not JSON",
+                              file=sys.stderr)
+                        return 1
+                    kind = "prometheus"
     if kind is None:
         kind = _detect_kind(path, payload)
     if kind == "prometheus":
