@@ -79,8 +79,15 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed fractional slowdown (default 0.20)")
     args = parser.parse_args(argv)
-    return compare(load_medians(args.baseline), load_medians(args.current),
-                   args.threshold)
+    try:
+        baseline = load_medians(args.baseline)
+    except FileNotFoundError:
+        # A fresh clone (or a branch that intentionally dropped the
+        # baseline) has no floor to hold; that is a skip, not a failure.
+        print(f"compare_bench: no baseline at {args.baseline}, skipping "
+              "comparison (commit one with --benchmark-json to enable)")
+        return 0
+    return compare(baseline, load_medians(args.current), args.threshold)
 
 
 if __name__ == "__main__":

@@ -163,6 +163,54 @@ def test_serve_disabled_overhead_under_two_percent():
     )
 
 
+def _resilience_disabled_step(system, cycles, metrics=None, checkpoint=None):
+    """The exact control flow ``continue_measurement`` adds to the hot
+    path when neither metrics nor a checkpointer is configured: one
+    combined None-test in front of an unchanged ``run()``.  Anything
+    heavier than this would break the disabled-path contract."""
+    if metrics is None and checkpoint is None:
+        system.run(cycles)
+    else:
+        raise ValueError("benchmark covers the disabled path only")
+
+
+def test_resilience_disabled_overhead_under_two_percent():
+    """The checkpointing analog of the guards above (docs/ARCHITECTURE.md
+    "Resilience"): with no ``--checkpoint-every`` / run-dir configured,
+    the measurement loop must run within 2% of a bare ``run()`` loop.
+    Same interleaved min-of-rounds harness; this trips if checkpointing
+    ever grows eager work (snapshot probes, journal writes, chunked
+    stepping) on the disabled path instead of staying behind the single
+    fast-path test in ``continue_measurement``."""
+    def timed_bare(system, cycles=2_000):
+        start = time.perf_counter()
+        system.run(cycles)
+        return time.perf_counter() - start
+
+    def timed_disabled(system, cycles=2_000):
+        start = time.perf_counter()
+        _resilience_disabled_step(system, cycles)
+        return time.perf_counter() - start
+
+    baseline_system = _fresh_system()
+    disabled_system = _fresh_system()
+    ratios = []
+    for _ in range(6):
+        baseline_total = disabled_total = 0.0
+        for chunk_index in range(10):
+            if chunk_index % 2 == 0:
+                baseline_total += timed_bare(baseline_system)
+                disabled_total += timed_disabled(disabled_system)
+            else:
+                disabled_total += timed_disabled(disabled_system)
+                baseline_total += timed_bare(baseline_system)
+        ratios.append(disabled_total / baseline_total)
+    assert min(ratios) <= 1.02, (
+        f"resilience-disabled measurement loop is >2% slower than the "
+        f"bare run loop in every round: ratios {[f'{r:.3f}' for r in ratios]}"
+    )
+
+
 def test_bench_traced_simulation(benchmark):
     """The same 2-thread CMP with full tracing enabled into a ring
     buffer — the cost of turning observability *on* (not bounded; the

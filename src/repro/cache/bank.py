@@ -109,6 +109,23 @@ _STAGE_NAMES = {
 }
 
 
+class _MemDataCallback:
+    """Memory-completion callback for one in-flight miss.
+
+    A module-level class (not a closure) so banks with outstanding DRAM
+    reads survive a checkpoint pickle (repro.resilience.snapshot).
+    """
+
+    __slots__ = ("bank", "sm")
+
+    def __init__(self, bank: "CacheBank", sm: "StateMachine") -> None:
+        self.bank = bank
+        self.sm = sm
+
+    def __call__(self, cycle: int) -> None:
+        self.bank._events.push_at(cycle, (_MEM_DATA, self.sm))
+
+
 class _Resource:
     """A shared resource: arbiter + busy window + utilization meter."""
 
@@ -565,9 +582,7 @@ class CacheBank:
             self._enqueue(self.data, sm, now)
 
     def _make_mem_callback(self, sm: StateMachine):
-        def on_complete(cycle: int) -> None:
-            self._events.push_at(cycle, (_MEM_DATA, sm))
-        return on_complete
+        return _MemDataCallback(self, sm)
 
     # ------------------------------------------------------------------ #
     # Reporting.

@@ -59,6 +59,21 @@ _PORT_DONE = 0
 _MEM_DATA = 1
 
 
+class _MemDataCallback:
+    """Memory-completion callback for one in-flight L3 miss; a
+    module-level class (not a closure) so in-flight misses survive a
+    checkpoint pickle (repro.resilience.snapshot)."""
+
+    __slots__ = ("l3", "access")
+
+    def __init__(self, l3: "SharedL3", access: "_L3Access") -> None:
+        self.l3 = l3
+        self.access = access
+
+    def __call__(self, cycle: int) -> None:
+        self.l3._events.push_at(cycle, (_MEM_DATA, self.access))
+
+
 class SharedL3:
     """A shared L3 implementing the L2 banks' memory-side interface."""
 
@@ -155,10 +170,8 @@ class SharedL3:
             self._mem_wait.append(access)
 
     def _forward_to_memory(self, access: _L3Access, now: int) -> None:
-        def on_data(cycle: int) -> None:
-            self._events.push_at(cycle, (_MEM_DATA, access))
-
-        self.memory.enqueue_read(access.thread_id, access.line, on_data, now)
+        self.memory.enqueue_read(access.thread_id, access.line,
+                                 _MemDataCallback(self, access), now)
 
     def _memory_data(self, access: _L3Access, now: int) -> None:
         self._install(access.line, access.thread_id)

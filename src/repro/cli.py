@@ -41,6 +41,18 @@ def resolve_workload(name: str, thread_id: int) -> Iterator[TraceItem]:
                      "or trace:<path>")
 
 
+def _workload_spec(name: str):
+    """The declarative ``build_trace`` spec for a CLI workload name
+    (what a checkpoint stores so it can replay the trace cursor)."""
+    if name.startswith("trace:"):
+        return ("tracefile", name.split(":", 1)[1])
+    if name in MICROBENCHMARKS:
+        return ("micro", name)
+    if name in SPEC_PROFILES:
+        return ("spec", name)
+    resolve_workload(name, 0)  # raises with the helpful message
+
+
 def parse_shares(text: Optional[str], n_threads: int) -> List[float]:
     if text is None:
         return [1.0 / n_threads] * n_threads
@@ -57,8 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Simulate workloads on the VPC-enabled CMP.",
     )
-    parser.add_argument("workloads", nargs="+",
-                        help="one workload per thread (see module docstring)")
+    parser.add_argument("workloads", nargs="*",
+                        help="one workload per thread (see module "
+                             "docstring); optional with "
+                             "--resume-checkpoint, which restores them "
+                             "from the snapshot")
     parser.add_argument("--arbiter", default="vpc",
                         choices=("vpc", "fcfs", "row-fcfs"))
     parser.add_argument("--shares", default=None,
@@ -116,32 +131,115 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="heartbeat age after which /healthz reports "
                              "the run degraded (default 30)")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="write a resumable checkpoint of the full "
+                             "simulation to PATH every --checkpoint-every "
+                             "cycles during the measurement")
+    parser.add_argument("--checkpoint-every", type=int, default=10_000,
+                        metavar="CYCLES",
+                        help="checkpoint cadence in simulated cycles "
+                             "(default 10000)")
+    parser.add_argument("--resume-checkpoint", default=None, metavar="PATH",
+                        help="continue the measurement from a checkpoint "
+                             "written by --checkpoint (pass the same "
+                             "workloads, or none to restore them from the "
+                             "snapshot; the result is bit-identical to "
+                             "the uninterrupted run)")
     return parser
 
 
+def _resumed_labels(system) -> List[str]:
+    """Workload labels recovered from a restored system's trace cursors
+    (``ResumableTrace`` keeps its declarative spec)."""
+    labels = []
+    for tid in range(system.config.n_threads):
+        core = system._core_of_thread[tid]
+        spec = getattr(getattr(core, "_trace", None), "spec", None)
+        if isinstance(spec, tuple) and spec:
+            # Invert _workload_spec so labels match what was typed.
+            if len(spec) == 1:
+                labels.append(spec[0])
+            elif spec[0] in ("micro", "spec"):
+                labels.append(spec[1])
+            elif spec[0] == "tracefile":
+                labels.append(f"trace:{spec[1]}")
+            else:
+                labels.append(f"{spec[0]}:{spec[1]}")
+        else:
+            labels.append(f"thread{tid}")
+    return labels
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.resume_checkpoint and (
+            args.report is not None or args.serve is not None
+            or args.trace or args.histograms):
+        parser.error("--resume-checkpoint continues the original run's "
+                     "observability; --report/--serve/--trace/--histograms "
+                     "cannot be added mid-run")
+    resumed = None
+    if args.resume_checkpoint:
+        from repro.resilience import open_checkpoint
+        resumed = open_checkpoint(args.resume_checkpoint)
+        held = resumed.system.config.n_threads
+        if args.workloads and len(args.workloads) != held:
+            parser.error(f"checkpoint holds {held} threads but "
+                         f"{len(args.workloads)} workloads were given")
+        if not args.workloads:
+            args.workloads = _resumed_labels(resumed.system)
+    elif not args.workloads:
+        parser.error("workloads are required "
+                     "(unless --resume-checkpoint restores them)")
+
     n_threads = len(args.workloads)
-    allocation = VPCAllocation(
-        parse_shares(args.shares, n_threads),
-        parse_shares(args.capacity_shares, n_threads),
-    )
-    config = baseline_config(
-        n_threads=n_threads, banks=args.banks,
-        arbiter=args.arbiter, vpc=allocation,
-    )
-    if args.prefetch:
-        from dataclasses import replace
+    if resumed is not None:
+        # The snapshot is authoritative on resume: topology flags on the
+        # command line cannot change a simulation already in flight.
+        config = resumed.system.config
+        allocation = config.vpc
+    else:
+        allocation = VPCAllocation(
+            parse_shares(args.shares, n_threads),
+            parse_shares(args.capacity_shares, n_threads),
+        )
+        config = baseline_config(
+            n_threads=n_threads, banks=args.banks,
+            arbiter=args.arbiter, vpc=allocation,
+        )
+        if args.prefetch:
+            from dataclasses import replace
 
-        from repro.common.config import CoreConfig
-        config = replace(
-            config, core=CoreConfig(prefetch_enabled=True)
-        ).validate()
+            from repro.common.config import CoreConfig
+            config = replace(
+                config, core=CoreConfig(prefetch_enabled=True)
+            ).validate()
 
-    traces = [
-        resolve_workload(name, tid)
-        for tid, name in enumerate(args.workloads)
-    ]
+    checkpointer = None
+    if args.checkpoint:
+        if args.trace and args.trace.endswith(".jsonl"):
+            parser.error("--checkpoint cannot ride with a streaming .jsonl "
+                         "trace: the sink's open file handle cannot be "
+                         "pickled into a checkpoint")
+        from repro.resilience import Checkpointer
+        checkpointer = Checkpointer(args.checkpoint,
+                                    every=args.checkpoint_every)
+
+    if resumed is not None:
+        traces = []
+    elif args.checkpoint:
+        # Checkpointable runs need picklable trace cursors.
+        from repro.resilience import ResumableTrace
+        traces = [
+            ResumableTrace(_workload_spec(name), tid)
+            for tid, name in enumerate(args.workloads)
+        ]
+    else:
+        traces = [
+            resolve_workload(name, tid)
+            for tid, name in enumerate(args.workloads)
+        ]
 
     observe = bool(args.metrics or args.prometheus
                    or args.report is not None or args.serve is not None)
@@ -166,7 +264,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     telemetry = None
     ring = jsonl = histograms = None
     collector = attributor = None
-    if args.trace or args.histograms or observe:
+    if resumed is None and (args.trace or args.histograms or observe):
         from repro.telemetry import (
             InterferenceAttributor,
             JsonlSink,
@@ -190,14 +288,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             ))
             attributor = telemetry.attach(InterferenceAttributor(n_threads))
 
-    system = CMPSystem(
-        config, traces,
-        capacity_policy=args.capacity,
-        vpc_selection=args.selection,
-        telemetry=telemetry,
-    )
+    if resumed is not None:
+        system = resumed.system
+        collector = resumed.metrics
+        attributor = resumed.attributor
+    else:
+        system = CMPSystem(
+            config, traces,
+            capacity_policy=args.capacity,
+            vpc_selection=args.selection,
+            telemetry=telemetry,
+        )
     monitor = None
-    if observe and args.arbiter == "vpc":
+    if resumed is None and observe and args.arbiter == "vpc":
         from repro.core.monitor import QoSMonitor
         monitor = QoSMonitor(system, window=args.metrics_window)
 
@@ -235,21 +338,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                 violations_sent = len(monitor.violations)
 
     started = time.monotonic()
-    result = run_simulation(system, warmup=args.warmup, measure=args.cycles,
-                            metrics=collector, on_window=on_window)
+    if resumed is not None:
+        result = resumed.run(checkpointer=checkpointer)
+    else:
+        result = run_simulation(system, warmup=args.warmup,
+                                measure=args.cycles, metrics=collector,
+                                on_window=on_window, checkpoint=checkpointer)
     wall_time = time.monotonic() - started
     if attributor is not None:
         attributor.finish(system.cycle)
         result.metrics["attribution"] = attributor.snapshot()
-        result.metrics["arbiter"] = args.arbiter
+        result.metrics["arbiter"] = config.arbiter
     if monitor is not None:
         monitor.finish(system.cycle)
     if live is not None:
         live.point_done(0, result.metrics)
         live.finish_run()
 
-    print(f"{n_threads}-thread CMP, {args.banks} banks, arbiter={args.arbiter}"
-          f" ({args.cycles} measured cycles after {args.warmup} warmup)")
+    print(f"{n_threads}-thread CMP, {config.l2.banks} banks, "
+          f"arbiter={config.arbiter}"
+          f" ({result.cycles} measured cycles after "
+          f"{result.warmup_cycles} warmup)")
     for tid, name in enumerate(args.workloads):
         share = allocation.bandwidth_shares[tid]
         print(f"  t{tid} {name:<18} phi={share:<5.2f} "
@@ -262,7 +371,10 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"gathering rate {result.gathering_rate:.0%}, "
           f"miss rate {result.l2_miss_rate:.0%}")
 
-    if args.metrics:
+    if args.metrics and result.metrics is None:
+        print("  metrics: none collected (the resumed checkpoint was "
+              "written without a metrics collector)")
+    elif args.metrics:
         import json
         with open(args.metrics, "w", encoding="utf-8") as handle:
             json.dump(result.metrics, handle, indent=2)
@@ -307,13 +419,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  trace: events streamed -> {args.trace}")
     if args.manifest is not None:
         from repro.telemetry import RunManifest
+        lineage = {}
+        if args.resume_checkpoint:
+            lineage["resumed_from"] = args.resume_checkpoint
+        if args.checkpoint:
+            lineage["checkpoint"] = args.checkpoint
         manifest = RunManifest.collect(
             config=config, kernel=system.kernel,
             wall_time_s=round(wall_time, 3),
             workloads=list(args.workloads),
-            warmup=args.warmup, cycles=args.cycles,
+            warmup=result.warmup_cycles, cycles=result.cycles,
             skipped_cycles=system.skipped_cycles,
             skips_taken=system.skips_taken,
+            **lineage,
         )
         if args.manifest == "-":
             import json

@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -66,6 +67,12 @@ _metrics_window: Optional[int] = None
 # workers stream per-window snapshots/heartbeats/QoS violations to it
 # mid-point.  Requires metrics collection; reset by every configure().
 _live = None
+# Resilience policy (repro.resilience.fleet.ResilienceConfig): when set,
+# run_points() routes through the fault-tolerant fleet — journaled run
+# directory, per-point checkpoints, timeouts/retries.  Reset by every
+# configure() like the observers; None keeps the fast pool path with
+# zero resilience overhead.
+_resilience = None
 
 #: hits/misses observability (tests assert on this; reset via configure).
 cache_stats: Dict[str, int] = {"hits": 0, "misses": 0}
@@ -83,6 +90,7 @@ def configure(
     telemetry=None,
     metrics: Optional[int] = None,
     live=None,
+    resilience=None,
 ) -> None:
     """Set the process-wide execution policy (``jobs=0`` → all CPUs).
 
@@ -90,10 +98,12 @@ def configure(
     collection; like the observers it is reset by every call.  ``live``
     is a :class:`repro.telemetry.server.LiveRun` feed for the ``--serve``
     observability plane — it needs window snapshots to stream, so it
-    requires ``metrics``.
+    requires ``metrics``.  ``resilience`` is a
+    :class:`repro.resilience.fleet.ResilienceConfig` routing execution
+    through the journaled, checkpointing, fault-tolerant fleet.
     """
     global _jobs, _cache_enabled, _progress, _telemetry, _metrics_window
-    global _live
+    global _live, _resilience
     if jobs is not None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
@@ -108,6 +118,7 @@ def configure(
     _telemetry = telemetry
     _metrics_window = metrics
     _live = live
+    _resilience = resilience
     cache_stats["hits"] = 0
     cache_stats["misses"] = 0
     metrics_log.clear()
@@ -116,6 +127,11 @@ def configure(
 def configured_live():
     """The LiveRun feed configured for this process, if any."""
     return _live
+
+
+def configured_resilience():
+    """The ResilienceConfig configured for this process, if any."""
+    return _resilience
 
 
 def drain_metrics() -> List[Dict]:
@@ -192,6 +208,8 @@ def run_point(
     metrics_window: Optional[int] = None,
     feed=None,
     index: Optional[int] = None,
+    checkpoint=None,
+    resumable: bool = False,
 ) -> SimulationResult:
     """Simulate one point from scratch (no cache involvement).
 
@@ -209,9 +227,19 @@ def run_point(
     """
     if feed is not None and metrics_window is None:
         raise ValueError("a live feed requires a metrics window")
-    traces = [
-        _build_trace(spec, tid) for tid, spec in enumerate(point.traces)
-    ]
+    if resumable:
+        # Checkpointable runs wrap each trace in a picklable cursor
+        # (spec + items consumed); plain runs keep the raw generators —
+        # the zero-overhead path when resilience is off.
+        from repro.resilience.snapshot import ResumableTrace
+        traces = [
+            ResumableTrace(spec, tid)
+            for tid, spec in enumerate(point.traces)
+        ]
+    else:
+        traces = [
+            _build_trace(spec, tid) for tid, spec in enumerate(point.traces)
+        ]
     system = CMPSystem(
         point.config,
         traces,
@@ -259,7 +287,7 @@ def run_point(
 
     result = run_simulation(
         system, warmup=point.warmup, measure=point.measure, metrics=metrics,
-        on_window=on_window,
+        on_window=on_window, checkpoint=checkpoint,
     )
     if attributor is not None:
         attributor.finish(system.cycle)
@@ -297,12 +325,26 @@ def _cache_load(point: SimPoint) -> Optional[SimulationResult]:
     path = cache_dir() / f"{cache_key(point)}.json"
     try:
         payload = json.loads(path.read_text())
-    except (OSError, ValueError):
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, EOFError, pickle.UnpicklingError):
+        # Truncated or otherwise corrupt entry (a crashed writer, a torn
+        # disk): treat as a miss and evict it so it cannot shadow the
+        # fresh result we are about to store.
+        _cache_evict(path)
         return None
     try:
         return SimulationResult(**payload)
     except TypeError:
+        _cache_evict(path)
         return None  # field set drifted without a CACHE_VERSION bump
+
+
+def _cache_evict(path: Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass  # cache hygiene is best-effort; never fail the run for it
 
 
 def _cache_store(point: SimPoint, result: SimulationResult) -> None:
@@ -332,7 +374,24 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
     unaffected.  Orchestration telemetry (``CAT_RUN``) is wall-clock
     microseconds from batch start — a different time base from the
     simulation's cycle-stamped events, kept apart by track name.
+
+    With a resilience policy configured the batch instead routes through
+    the journaled fleet (``repro.resilience.fleet``): completed points
+    replayed from the run directory, survivors checkpointed, failures
+    retried with backoff.
     """
+    if _resilience is not None:
+        from repro.resilience import fleet
+        results_r = fleet.run_points_resilient(
+            points, _resilience, jobs=_jobs,
+            metrics_window=_metrics_window, progress=_progress, live=_live,
+        )
+        if _metrics_window is not None:
+            metrics_log.extend(
+                result.metrics for result in results_r
+                if result is not None and result.metrics is not None
+            )
+        return results_r
     results: List[Optional[SimulationResult]] = [None] * len(points)
     todo: List[int] = []
     progress = _progress
@@ -410,9 +469,8 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
                                        daemon=True)
             drainer.start()
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(_jobs, len(todo))
-            ) as pool:
+            pool = ProcessPoolExecutor(max_workers=min(_jobs, len(todo)))
+            try:
                 pending = {}
                 for index in todo:
                     pending[pool.submit(run_point, points[index],
@@ -425,6 +483,17 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
                     for future in done:
                         index, started_us = pending.pop(future)
                         finish(index, future.result(), started_us)
+                pool.shutdown()
+            except KeyboardInterrupt:
+                # Ctrl-C: don't wait for in-flight points (they can be
+                # minutes long) — drop the queue and kill the workers so
+                # the CLI can report and exit promptly.
+                for future in pending:
+                    future.cancel()
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    proc.terminate()
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
         finally:
             if drainer is not None:
                 stop_draining.set()

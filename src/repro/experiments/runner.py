@@ -10,6 +10,13 @@ docs/ARCHITECTURE.md): ``--progress`` reports per-point completion and
 ETA on stderr, ``--trace PATH`` captures the runner's orchestration
 events as a Chrome/Perfetto trace, and ``--manifest [DIR]`` writes each
 experiment's provenance record next to the output.
+
+Resilience (see docs/ARCHITECTURE.md "Resilience"): ``--run-dir DIR``
+routes execution through the journaled fault-tolerant fleet —
+checkpoints every ``--checkpoint-every`` cycles, per-point
+``--point-timeout``, ``--max-retries`` with backoff — and ``--resume
+DIR`` re-enters an interrupted run, skipping what already finished.
+``--chaos SPEC`` arms the fault injector (tests/CI only).
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import List, Optional
 
 from repro.experiments import parallel
 from repro.experiments.base import REGISTRY, ExperimentResult
+from repro.resilience.fleet import PointsExcludedError
 from repro.telemetry import RunManifest
 
 
@@ -53,6 +61,18 @@ def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
     if live is not None:
         # /snapshot now serves the exact aggregate written to disk.
         live.finish_run(result.metrics)
+    extra = {}
+    resilience = parallel.configured_resilience()
+    if resilience is not None:
+        # Resume lineage: the manifest records which run directory this
+        # result was (re)assembled from and under what policy.
+        extra["resilience"] = {
+            "run_dir": str(resilience.run_dir),
+            "checkpoint_every": resilience.checkpoint_every,
+            "max_retries": resilience.max_retries,
+            "chaos_armed": (resilience.chaos is not None
+                            and resilience.chaos.armed()),
+        }
     result.manifest = RunManifest.collect(
         kernel="event",
         cache={
@@ -62,6 +82,7 @@ def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
         wall_time_s=round(time.monotonic() - started, 3),
         exp_id=exp_id,
         fast=fast,
+        **extra,
     )
     return result
 
@@ -121,7 +142,71 @@ def main(argv: Optional[List[str]] = None) -> int:
                         metavar="SECONDS",
                         help="worker heartbeat age after which /healthz "
                              "reports the run degraded (default 30)")
+    parser.add_argument("--run-dir", default=None, metavar="DIR",
+                        help="run through the fault-tolerant fleet, "
+                             "journaling progress (and checkpoints, "
+                             "results) into DIR so the run can be resumed")
+    parser.add_argument("--resume", default=None, metavar="DIR",
+                        help="resume an interrupted run from its run "
+                             "directory: completed points are not "
+                             "re-simulated, half-done points restart from "
+                             "their last checkpoint")
+    parser.add_argument("--checkpoint-every", type=int, default=0,
+                        metavar="CYCLES",
+                        help="checkpoint each in-flight point every N "
+                             "simulated cycles (0 = off; requires "
+                             "--run-dir/--resume)")
+    parser.add_argument("--point-timeout", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="kill and retry a fleet worker stuck on one "
+                             "point longer than this (0 = no timeout)")
+    parser.add_argument("--max-retries", type=int, default=2, metavar="N",
+                        help="retries per failing point before it is "
+                             "excluded from the batch (default 2)")
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="arm the fault injector, e.g. "
+                             "'kill=0.3,corrupt=0.2,seed=7' "
+                             "(tests/CI; requires --run-dir)")
     args = parser.parse_args(argv)
+
+    run_dir = args.resume or args.run_dir
+    resilience = None
+    if run_dir is not None:
+        from repro.resilience import ChaosConfig, ResilienceConfig, replay
+        chaos = ChaosConfig.parse(args.chaos) if args.chaos else None
+        resilience = ResilienceConfig(
+            run_dir=run_dir,
+            checkpoint_every=args.checkpoint_every,
+            point_timeout=args.point_timeout,
+            max_retries=args.max_retries,
+            chaos=chaos,
+        )
+        if args.resume:
+            state = replay(run_dir)
+            counts = state.summary()
+            print(f"resuming {run_dir}: "
+                  f"{counts['done']} done, {counts['pending']} pending, "
+                  f"{counts['running']} interrupted mid-point, "
+                  f"{counts['excluded']} previously excluded", flush=True)
+    elif args.checkpoint_every or args.chaos:
+        parser.error("--checkpoint-every/--chaos require --run-dir "
+                     "or --resume")
+
+    def resume_command() -> Optional[str]:
+        if run_dir is None:
+            return None
+        raw = list(argv) if argv is not None else sys.argv[1:]
+        kept, skip = [], False
+        for token in raw:
+            if skip:
+                skip = False
+                continue
+            if token in ("--resume", "--run-dir"):
+                skip = True
+                continue
+            kept.append(token)
+        return ("python -m repro.experiments "
+                + " ".join(kept + ["--resume", str(run_dir)]))
 
     progress = ring = None
     telemetry = None
@@ -146,7 +231,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               "(/metrics /healthz /snapshot /events)", flush=True)
     parallel.configure(jobs=args.jobs, cache=not args.no_cache,
                        progress=progress, telemetry=telemetry,
-                       metrics=metrics_window, live=live)
+                       metrics=metrics_window, live=live,
+                       resilience=resilience)
 
     if args.list or not args.experiments:
         for exp_id in sorted(REGISTRY):
@@ -159,9 +245,60 @@ def main(argv: Optional[List[str]] = None) -> int:
     if requested == ["all"]:
         requested = sorted(REGISTRY)
 
+    def salvage_partial_metrics(exp_id: str) -> None:
+        """Write whatever per-point metrics survived an interrupted or
+        partially-excluded run (``<exp_id>.metrics.partial.json``)."""
+        if args.metrics is None:
+            return
+        snapshots = parallel.drain_metrics()
+        if not snapshots and run_dir is not None:
+            # The fleet keeps finished results as sidecars in the run
+            # directory even when the batch itself never returned.
+            from repro.resilience import replay as replay_journal
+            from repro.resilience.journal import load_result, result_path
+            state = replay_journal(run_dir)
+            for rec in sorted(state.records.values(), key=lambda r: r.index):
+                if rec.status != "done":
+                    continue
+                prior = load_result(result_path(run_dir, rec.key))
+                if prior is not None and prior.metrics is not None:
+                    snapshots.append(prior.metrics)
+        if not snapshots:
+            return
+        import json
+        from repro.telemetry import merge_attribution, merge_snapshots
+        aggregate = merge_snapshots(snapshots)
+        aggregate["attribution"] = merge_attribution(
+            [snap.get("attribution") for snap in snapshots]
+        )
+        path = Path(args.metrics) / f"{exp_id}.metrics.partial.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(aggregate, indent=2) + "\n")
+        print(f"partial metrics ({len(snapshots)} points) -> {path}",
+              file=sys.stderr)
+
+    def bail(exp_id: str, reason: str, code: int) -> int:
+        salvage_partial_metrics(exp_id)
+        print(f"\n{reason}", file=sys.stderr)
+        command = resume_command()
+        if command is not None:
+            print(f"resume with:\n  {command}", file=sys.stderr)
+        else:
+            print("no run directory was configured, so completed points "
+                  "were not journaled; re-run with --run-dir DIR to make "
+                  "runs resumable", file=sys.stderr)
+        if server is not None:
+            server.stop()
+        return code
+
     for exp_id in requested:
         started = time.time()
-        result = run_experiment(exp_id, fast=args.fast)
+        try:
+            result = run_experiment(exp_id, fast=args.fast)
+        except KeyboardInterrupt:
+            return bail(exp_id, f"interrupted during {exp_id}.", 130)
+        except PointsExcludedError as exc:
+            return bail(exp_id, f"{exp_id} incomplete:\n{exc}", 3)
         if args.chart:
             from repro.experiments.charts import render_result
             print(render_result(result))

@@ -24,6 +24,24 @@ from repro.memory.dram import DRAMChannel
 from repro.memory.fq_scheduler import SharedDRAMChannel
 
 
+class _DelayedNotify:
+    """Completion callback that adds the controller's fixed overhead.
+
+    A module-level class (not a closure) so in-flight DRAM reads —
+    which hold these callbacks in their pending entries — survive a
+    checkpoint pickle (repro.resilience.snapshot).
+    """
+
+    __slots__ = ("notify", "overhead")
+
+    def __init__(self, notify: Callable[[int], None], overhead: int) -> None:
+        self.notify = notify
+        self.overhead = overhead
+
+    def __call__(self, data_cycle: int) -> None:
+        self.notify(data_cycle + self.overhead)
+
+
 class MemoryController:
     """Routes L2 miss/writeback traffic to DRAM channels."""
 
@@ -87,10 +105,7 @@ class MemoryController:
         now: int,
     ) -> None:
         overhead = self.overhead_cycles
-
-        def delayed_notify(data_cycle: int) -> None:
-            notify(data_cycle + overhead)
-
+        delayed_notify = _DelayedNotify(notify, overhead)
         if self._shared is not None:
             self._shared.enqueue_read(thread_id, line, delayed_notify,
                                       now + overhead)

@@ -1,0 +1,262 @@
+"""Crash-safe experiment run journal: append-only JSONL + sidecar results.
+
+Every resilient experiment run owns a *run directory*::
+
+    <run-dir>/
+      journal.jsonl          append-only event log (this module)
+      results/<key>.pkl      finished SimulationResults (exact pickles)
+      checkpoints/<key>.ckpt latest mid-measurement checkpoint per point
+
+The journal is the single source of truth for what happened: one JSON
+object per line, fsynced on append, so a power cut loses at most the
+line being written — and replay tolerates exactly that (a trailing
+partial line is ignored, never fatal).  ``--resume <run-dir>`` replays
+the journal, loads finished points from their sidecar pickles (pickle,
+not JSON: metrics dicts keep int keys and results stay byte-identical),
+restarts half-done points from their last checkpoint, and re-runs only
+what is actually missing.
+
+Points are identified by their content hash
+(:func:`repro.experiments.parallel.cache_key`), so a resume is safe even
+if the point *order* changes between invocations — and a resumed run
+with a different point set simply reuses whatever overlaps.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Bump when the journal's event vocabulary changes incompatibly.
+JOURNAL_SCHEMA_VERSION = 1
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+class JournalError(Exception):
+    """The journal is unusable (wrong schema, unreadable directory)."""
+
+
+def result_path(run_dir, key: str) -> Path:
+    return Path(run_dir) / "results" / f"{key}.pkl"
+
+
+def checkpoint_path(run_dir, key: str) -> Path:
+    return Path(run_dir) / "checkpoints" / f"{key}.ckpt"
+
+
+def store_result(path, result) -> None:
+    """Atomically pickle one finished SimulationResult sidecar."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        fh.flush()
+        os.fsync(fh.fileno())
+    tmp.replace(path)
+
+
+def load_result(path):
+    """Load a sidecar result; ``None`` on any corruption (the point is
+    then simply re-run — a truncated sidecar must never poison a
+    resume)."""
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except (OSError, EOFError, pickle.UnpicklingError, AttributeError,
+            ImportError, IndexError, ValueError):
+        return None
+
+
+class RunJournal:
+    """Append-only event log for one experiment run.
+
+    Appends are one ``write`` + ``fsync`` of a single ``\\n``-terminated
+    JSON line on an ``O_APPEND`` descriptor, so concurrent appends from
+    the fleet's monitor thread interleave at line granularity and a
+    crash can only truncate the final line.
+    """
+
+    def __init__(self, run_dir) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.run_dir / JOURNAL_NAME
+        self._fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+
+    def append(self, event: str, **fields) -> None:
+        record = {"event": event, "ts": round(time.time(), 3), **fields}
+        line = json.dumps(record, sort_keys=True) + "\n"
+        os.write(self._fd, line.encode())
+        os.fsync(self._fd)
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Event vocabulary (thin wrappers so call sites read as intent).
+    # ------------------------------------------------------------------ #
+
+    def run_started(self, exp_id: str, n_points: int, **provenance) -> None:
+        self.append("run_started", schema=JOURNAL_SCHEMA_VERSION,
+                    exp_id=exp_id, n_points=n_points, pid=os.getpid(),
+                    **provenance)
+
+    def point_started(self, key: str, index: int, attempt: int,
+                      worker_pid: Optional[int] = None) -> None:
+        self.append("point_started", key=key, index=index, attempt=attempt,
+                    worker_pid=worker_pid)
+
+    def point_finished(self, key: str, index: int, attempt: int) -> None:
+        self.append("point_finished", key=key, index=index, attempt=attempt,
+                    result=str(result_path(self.run_dir, key)))
+
+    def point_failed(self, key: str, index: int, attempt: int,
+                     error: str, retry_in: Optional[float] = None) -> None:
+        self.append("point_failed", key=key, index=index, attempt=attempt,
+                    error=error, retry_in=retry_in)
+
+    def point_excluded(self, key: str, index: int, attempts: int,
+                       error: str) -> None:
+        self.append("point_excluded", key=key, index=index,
+                    attempts=attempts, error=error)
+
+    def checkpoint_saved(self, key: str, index: int, cycle: int) -> None:
+        self.append("checkpoint_saved", key=key, index=index, cycle=cycle,
+                    path=str(checkpoint_path(self.run_dir, key)))
+
+    def run_finished(self, completed: int, excluded: int) -> None:
+        self.append("run_finished", completed=completed, excluded=excluded)
+
+    def run_interrupted(self, reason: str) -> None:
+        self.append("run_interrupted", reason=reason)
+
+
+# ---------------------------------------------------------------------- #
+# Replay.
+# ---------------------------------------------------------------------- #
+
+@dataclass
+class PointRecord:
+    """Everything the journal knows about one point, after replay."""
+
+    key: str
+    index: int = -1
+    status: str = "pending"       # pending | running | done | excluded
+    attempts: int = 0
+    last_error: Optional[str] = None
+    last_checkpoint_cycle: Optional[int] = None
+
+
+@dataclass
+class JournalState:
+    """The replayed state of a run directory."""
+
+    run_dir: Path
+    records: Dict[str, PointRecord] = field(default_factory=dict)
+    exp_id: Optional[str] = None
+    started: int = 0              # run_started events seen (>=2 → resumed)
+    finished: bool = False
+    interrupted: bool = False
+    skipped_lines: int = 0        # corrupt/partial lines ignored
+
+    def record(self, key: str) -> PointRecord:
+        if key not in self.records:
+            self.records[key] = PointRecord(key=key)
+        return self.records[key]
+
+    def completed_result(self, key: str):
+        """The finished result for ``key``, or ``None`` if missing or its
+        sidecar is corrupt (then the point re-runs)."""
+        rec = self.records.get(key)
+        if rec is None or rec.status != "done":
+            return None
+        return load_result(result_path(self.run_dir, key))
+
+    def summary(self) -> Dict[str, int]:
+        out = {"pending": 0, "running": 0, "done": 0, "excluded": 0}
+        for rec in self.records.values():
+            out[rec.status] = out.get(rec.status, 0) + 1
+        return out
+
+
+def replay(run_dir) -> JournalState:
+    """Replay a run directory's journal into a :class:`JournalState`.
+
+    Missing journal → an empty state (a fresh run directory).  A corrupt
+    *interior* line or a partial trailing line is counted in
+    ``skipped_lines`` and otherwise ignored: the journal is an intent
+    log, and the sidecar/checkpoint files are each self-validating, so
+    dropping an event can only cause redundant re-work, never a wrong
+    result.
+    """
+    state = JournalState(run_dir=Path(run_dir))
+    path = state.run_dir / JOURNAL_NAME
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return state
+    for line in io.BytesIO(raw):
+        if not line.endswith(b"\n"):
+            state.skipped_lines += 1  # torn final append
+            continue
+        try:
+            record = json.loads(line.decode())
+            event = record["event"]
+        except (ValueError, KeyError, UnicodeDecodeError):
+            state.skipped_lines += 1
+            continue
+        if event == "run_started":
+            schema = record.get("schema")
+            if schema != JOURNAL_SCHEMA_VERSION:
+                raise JournalError(
+                    f"{path}: journal schema {schema} != "
+                    f"{JOURNAL_SCHEMA_VERSION}")
+            state.started += 1
+            state.exp_id = record.get("exp_id", state.exp_id)
+            state.finished = False
+            state.interrupted = False
+        elif event == "point_started":
+            rec = state.record(record["key"])
+            rec.index = record.get("index", rec.index)
+            rec.attempts = max(rec.attempts, record.get("attempt", 0))
+            if rec.status == "pending":
+                rec.status = "running"
+        elif event == "point_finished":
+            rec = state.record(record["key"])
+            rec.index = record.get("index", rec.index)
+            rec.status = "done"
+        elif event == "point_failed":
+            rec = state.record(record["key"])
+            rec.last_error = record.get("error")
+            if rec.status == "running":
+                rec.status = "pending"  # eligible for retry on resume
+        elif event == "point_excluded":
+            rec = state.record(record["key"])
+            rec.status = "excluded"
+            rec.last_error = record.get("error")
+        elif event == "checkpoint_saved":
+            rec = state.record(record["key"])
+            rec.last_checkpoint_cycle = record.get("cycle")
+        elif event == "run_finished":
+            state.finished = True
+        elif event == "run_interrupted":
+            state.interrupted = True
+        # Unknown events from newer writers are ignored on purpose.
+    return state

@@ -62,12 +62,34 @@ class SimulationResult:
         return self.ipcs[thread_id]
 
 
+@dataclass
+class MeasureState:
+    """Picklable bookkeeping of an in-progress measurement interval.
+
+    Captured after warmup and carried through the chunked measurement
+    loop; a resilience checkpoint (repro.resilience.snapshot) pickles
+    this next to the system so a resumed run finalizes with exactly the
+    snapshots an uninterrupted run would have used.
+    """
+
+    warmup: int
+    measure: int
+    remaining: int
+    dispatched_before: List[int]
+    meter_snaps: List
+    counter_snaps: List
+    # Simulated cycles since the last checkpoint save (cadence state for
+    # repro.resilience.snapshot.Checkpointer.maybe).
+    since_checkpoint: int = 0
+
+
 def run_simulation(
     system: CMPSystem,
     warmup: int = 20_000,
     measure: int = 60_000,
     metrics=None,
     on_window=None,
+    checkpoint=None,
 ) -> SimulationResult:
     """Run ``system`` with a warmup phase, measuring the steady state.
 
@@ -86,6 +108,13 @@ def run_simulation(
     chunked mode) and observes strictly after the chunk has simulated,
     so it cannot perturb results; when ``None`` the cost is one ``is
     not None`` test per window.
+
+    ``checkpoint`` is an optional :class:`repro.resilience.snapshot
+    .Checkpointer`; when given, the measurement also runs chunked (at
+    the checkpoint cadence, or the metrics window when both are active
+    so window sampling stays aligned) and a resumable snapshot is
+    written whenever the cadence elapses.  Chunking is exact, so a
+    checkpointed run returns the same result as an unchunked one.
     """
     if warmup < 0 or measure <= 0:
         raise ValueError("warmup must be >= 0 and measure > 0")
@@ -94,35 +123,76 @@ def run_simulation(
     system.run(warmup)
 
     n_threads = system.config.n_threads
-    dispatched_before = [
-        system.thread_dispatched(tid) for tid in range(n_threads)
-    ]
-    meter_snaps = [bank.utilization_snapshot() for bank in system.banks]
-    counter_snaps = [bank.counters.snapshot() for bank in system.banks]
-
-    if metrics is None:
-        system.run(measure)
-    else:
+    state = MeasureState(
+        warmup=warmup,
+        measure=measure,
+        remaining=measure,
+        dispatched_before=[
+            system.thread_dispatched(tid) for tid in range(n_threads)
+        ],
+        meter_snaps=[bank.utilization_snapshot() for bank in system.banks],
+        counter_snaps=[bank.counters.snapshot() for bank in system.banks],
+    )
+    if metrics is not None:
         metrics.sample(system)
-        remaining = measure
-        while remaining > 0:
-            chunk = min(metrics.window, remaining)
-            system.run(chunk)
-            metrics.sample(system)
-            remaining -= chunk
-            if on_window is not None:
-                on_window(system.cycle)
-        metrics.finish(system.cycle)
+    return continue_measurement(system, state, metrics=metrics,
+                                on_window=on_window, checkpoint=checkpoint)
 
+
+def continue_measurement(
+    system: CMPSystem,
+    state: MeasureState,
+    metrics=None,
+    on_window=None,
+    checkpoint=None,
+) -> SimulationResult:
+    """Run the measurement interval from wherever ``state`` left off.
+
+    The entry point a resumed checkpoint continues through
+    (:meth:`repro.resilience.snapshot.ResumedRun.run`); a fresh
+    ``run_simulation`` call lands here too, so interrupted-and-resumed
+    and uninterrupted runs share one code path and finalize from the
+    same snapshots — the bit-exactness contract's backbone.
+    """
+    if state.remaining > 0:
+        if metrics is None and checkpoint is None:
+            system.run(state.remaining)
+            state.remaining = 0
+        else:
+            while state.remaining > 0:
+                chunk = state.remaining
+                if metrics is not None:
+                    chunk = min(chunk, metrics.window)
+                elif checkpoint is not None:
+                    chunk = min(chunk,
+                                checkpoint.every - state.since_checkpoint)
+                system.run(chunk)
+                state.remaining -= chunk
+                state.since_checkpoint += chunk
+                if metrics is not None:
+                    metrics.sample(system)
+                    if on_window is not None:
+                        on_window(system.cycle)
+                if checkpoint is not None:
+                    checkpoint.maybe(system, state)
+    if metrics is not None:
+        metrics.finish(system.cycle)
+    return _finalize(system, state, metrics)
+
+
+def _finalize(system: CMPSystem, state: MeasureState,
+              metrics) -> SimulationResult:
+    measure = state.measure
+    n_threads = system.config.n_threads
     instructions = [
-        system.thread_dispatched(tid) - dispatched_before[tid]
+        system.thread_dispatched(tid) - state.dispatched_before[tid]
         for tid in range(n_threads)
     ]
     ipcs = [insts / measure for insts in instructions]
 
     bank_utils = [
         bank.utilizations(measure, snapshots=snap)
-        for bank, snap in zip(system.banks, meter_snaps)
+        for bank, snap in zip(system.banks, state.meter_snaps)
     ]
     avg_utils = {
         name: sum(b[name] for b in bank_utils) / len(bank_utils)
@@ -131,7 +201,7 @@ def run_simulation(
 
     deltas = [
         bank.counters.since(snap)
-        for bank, snap in zip(system.banks, counter_snaps)
+        for bank, snap in zip(system.banks, state.counter_snaps)
     ]
 
     def total(name: str) -> int:
@@ -139,7 +209,7 @@ def run_simulation(
 
     return SimulationResult(
         cycles=measure,
-        warmup_cycles=warmup,
+        warmup_cycles=state.warmup,
         ipcs=ipcs,
         instructions=instructions,
         metrics=metrics.snapshot() if metrics is not None else None,

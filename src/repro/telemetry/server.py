@@ -86,6 +86,8 @@ class LiveRun:
         self.total = 0
         self.done = 0
         self.violations = 0
+        self.retries = 0          # resilience fleet: attempts restarted
+        self.excluded = 0         # resilience fleet: points given up on
         self.finished = False
         self._next_base = 0
         self._workers: Dict[int, float] = {}      # worker id -> last beat
@@ -121,6 +123,7 @@ class LiveRun:
         with self._lock:
             self.run_label = label
             self.total = self.done = self.violations = 0
+            self.retries = self.excluded = 0
             self.finished = False
             self._next_base = 0
             self._workers.clear()
@@ -168,6 +171,21 @@ class LiveRun:
         self._publish("violation", {
             "point": index, "worker": worker, **record,
         })
+
+    def point_retry(self, index: int, attempt: int, error: str) -> None:
+        """A resilience-fleet worker died or timed out and is being
+        retried (repro.resilience.fleet)."""
+        with self._lock:
+            self.retries += 1
+        self._publish("retry", {"point": index, "attempt": attempt,
+                                "error": error})
+
+    def point_excluded(self, index: int, error: str) -> None:
+        """The resilience fleet gave up on a point after its retry
+        budget; the run continues without it."""
+        with self._lock:
+            self.excluded += 1
+        self._publish("excluded", {"point": index, "error": error})
 
     def point_done(self, index: int, metrics: Optional[Dict]) -> None:
         """Record a point's completion (parent side, after the result
@@ -273,6 +291,10 @@ class LiveRun:
                     if self._last_window_at is not None else None
                 ),
                 "violations": self.violations,
+                "resilience": {
+                    "retries": self.retries,
+                    "excluded": self.excluded,
+                },
             }
 
     # ------------------------------------------------------------------ #

@@ -21,6 +21,37 @@ from repro.workloads.tracefile import (
     trace_from_file,
 )
 
+
+def build_trace(spec, thread_id: int):
+    """Realize a declarative trace spec for one hardware thread.
+
+    The spec vocabulary is shared by :class:`repro.experiments.parallel
+    .SimPoint` and the resilience checkpoints
+    (:mod:`repro.resilience.snapshot`), which rebuild and fast-forward
+    traces from exactly these tuples:
+
+    * ``("loads",)`` / ``("stores",)`` — the Table-2 microbenchmarks;
+    * ``("micro", name)`` — any entry of :data:`MICROBENCHMARKS`;
+    * ``("spec", name)`` — a SPEC stand-in profile;
+    * ``("synthetic", profile)`` — an explicit :class:`WorkloadProfile`;
+    * ``("tracefile", path)`` — a segment-trace file on disk.
+    """
+    kind = spec[0]
+    if kind == "loads":
+        return loads_trace(thread_id)
+    if kind == "stores":
+        return stores_trace(thread_id)
+    if kind == "micro":
+        return MICROBENCHMARKS[spec[1]](thread_id)
+    if kind == "spec":
+        return spec_trace(spec[1], thread_id)
+    if kind == "synthetic":
+        return synthetic_trace(spec[1], thread_id)
+    if kind == "tracefile":
+        return trace_from_file(spec[1])
+    raise ValueError(f"unknown trace spec {spec!r}")
+
+
 __all__ = [
     "ARRAY_BYTES",
     "HETEROGENEOUS_MIXES",
@@ -29,6 +60,7 @@ __all__ = [
     "SPEC_ORDER",
     "SPEC_PROFILES",
     "WorkloadProfile",
+    "build_trace",
     "read_trace",
     "save_trace",
     "trace_from_file",
