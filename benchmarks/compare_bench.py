@@ -15,6 +15,15 @@ Usage::
 The baseline is refreshed deliberately (run the suite with
 ``--benchmark-json=benchmarks/BENCH_engine.json`` and commit) whenever
 a PR intentionally trades throughput, so the diff shows the new floor.
+
+Besides the regression gate the report prints per-kernel speedups:
+for each (cycle-kernel, other-kernel) bench pair that times the same
+system, the ratio of medians from the *current* run.  These rows are
+informational — the kernels are bit-identical, so a speedup shift is a
+perf observation, not a correctness failure — but they make the batch
+kernel's two operating points visible in every CI log: the dense
+2-thread microbench (worst case, ~1.7x) and the single-thread
+target-IPC point (representative case, ~3-4x).
 """
 
 from __future__ import annotations
@@ -36,6 +45,35 @@ def load_medians(path: str) -> Dict[str, float]:
         if median:
             medians[bench["name"]] = float(median)
     return medians
+
+
+# (baseline bench, contender bench, label) triples timing the same
+# simulated system under different kernels.  Ratios are computed within
+# one JSON so machine speed cancels out.
+KERNEL_PAIRS = (
+    ("test_bench_simulation_cycle_kernel",
+     "test_bench_simulation_cycles_per_second",
+     "event/cycle  dense 2t"),
+    ("test_bench_simulation_cycle_kernel",
+     "test_bench_simulation_batch_kernel",
+     "batch/cycle  dense 2t (worst case)"),
+    ("test_bench_uniprocessor_point_cycle_kernel",
+     "test_bench_uniprocessor_point_batch_kernel",
+     "batch/cycle  uniprocessor target-IPC point"),
+)
+
+
+def kernel_speedups(medians: Dict[str, float]) -> None:
+    """Print cycle-kernel-relative speedups from one run's medians."""
+    rows = [(label, medians[ref] / medians[new])
+            for ref, new, label in KERNEL_PAIRS
+            if ref in medians and new in medians]
+    if not rows:
+        return
+    width = max(len(label) for label, _ in rows)
+    print("kernel speedups (median cycle-kernel time / kernel time):")
+    for label, speedup in rows:
+        print(f"  {label:<{width}}  {speedup:5.2f}x")
 
 
 def compare(baseline: Dict[str, float], current: Dict[str, float],
@@ -61,6 +99,7 @@ def compare(baseline: Dict[str, float], current: Dict[str, float],
         print(f"  {name:<{width}}  (new benchmark, no baseline)")
     for name in sorted(set(baseline) - set(current)):
         print(f"  {name:<{width}}  (baseline only, not run)")
+    kernel_speedups(current)
     if failures:
         print(f"{failures} benchmark(s) regressed more than "
               f"{threshold:.0%} vs the stored baseline", file=sys.stderr)

@@ -33,6 +33,47 @@ def test_bench_simulation_cycle_kernel(benchmark):
     benchmark.pedantic(system.run, args=(cycles,), iterations=1, rounds=3)
 
 
+def test_bench_simulation_batch_kernel(benchmark):
+    """The same dense system under the batched SoA kernel.  This is the
+    batch kernel's *worst case* — both threads stay runnable, so almost
+    no whole-cycle jumps fire and the win comes only from selective
+    component activation (~1.7x over the cycle kernel here)."""
+    config = baseline_config(n_threads=2, arbiter="vpc",
+                             vpc=VPCAllocation.equal(2))
+    system = CMPSystem(config, [loads_trace(0), stores_trace(1)],
+                       kernel="batch")
+    system.run(5_000)
+    cycles = 10_000
+    benchmark.pedantic(system.run, args=(cycles,), iterations=1, rounds=3)
+
+
+def _uniprocessor_point(kernel):
+    """The single-thread private-equivalent machine every QoS experiment
+    runs once per thread to obtain target IPCs (Sec. 5 methodology) —
+    the *representative* batch-kernel case: long DRAM stalls with one
+    core make whole-cycle jumps dominate."""
+    from repro.common.config import private_equivalent
+    from repro.workloads.profiles import spec_trace
+
+    config = private_equivalent(baseline_config(n_threads=4), 0.25, 0.25)
+    system = CMPSystem(config, [spec_trace("mcf", 0)], kernel=kernel)
+    system.run(5_000)
+    return system
+
+
+def test_bench_uniprocessor_point_cycle_kernel(benchmark):
+    """Target-IPC point under the reference cycle kernel."""
+    system = _uniprocessor_point("cycle")
+    benchmark.pedantic(system.run, args=(10_000,), iterations=1, rounds=3)
+
+
+def test_bench_uniprocessor_point_batch_kernel(benchmark):
+    """Target-IPC point under the batch kernel (3-4x over cycle: mcf's
+    low MLP leaves the lone core stalled most cycles, all skippable)."""
+    system = _uniprocessor_point("batch")
+    benchmark.pedantic(system.run, args=(10_000,), iterations=1, rounds=3)
+
+
 def test_bench_experiment_point_pipeline(benchmark):
     """End-to-end experiment wall-clock through the point runner: one
     fast-mode fig8 regeneration (shared runs + private targets), result

@@ -69,7 +69,7 @@ class SMState(IntEnum):
     DONE = auto()
 
 
-@dataclass
+@dataclass(slots=True)
 class StateMachine:
     """A cache-controller state machine tracking one in-flight request."""
 
@@ -368,7 +368,7 @@ class CacheBank:
         sm = StateMachine(sm_id=self._next_sm_id, request=request)
         self._next_sm_id += 1
         self._sms[sm.sm_id] = sm
-        self._sm_count[sm.thread_id] += 1
+        self._sm_count[request.thread_id] += 1
         self._active_lines[request.line] = (
             self._active_lines.get(request.line, 0) + 1
         )
@@ -384,7 +384,7 @@ class CacheBank:
         sm.state = SMState.DONE
         sm.request.completed_cycle = now
         del self._sms[sm.sm_id]
-        self._sm_count[sm.thread_id] -= 1
+        self._sm_count[sm.request.thread_id] -= 1
         count = self._active_lines[sm.request.line]
         if count == 1:
             del self._active_lines[sm.request.line]
@@ -414,7 +414,7 @@ class CacheBank:
             else:
                 sm.state = SMState.DATA_WAIT
         entry = ArbiterEntry(
-            thread_id=sm.thread_id,
+            thread_id=sm.request.thread_id,
             payload=sm,
             is_write=is_write_access,
             is_prefetch=sm.request.is_prefetch,
@@ -426,6 +426,14 @@ class CacheBank:
         entry = resource.grant(now)
         if entry is None:
             return
+        self._apply_grant(resource, entry, now)
+
+    def _apply_grant(self, resource: _Resource, entry: ArbiterEntry,
+                     now: int) -> None:
+        """Stage transitions for a granted entry.  Split from ``_grant``
+        so the batch kernel — which proves the resource free and the
+        arbiter non-empty before selecting — can skip ``grant``'s
+        re-checks while sharing this logic verbatim."""
         sm: StateMachine = entry.payload
         duration = resource.base_latency * entry.service_quanta
         if resource is self.tag:

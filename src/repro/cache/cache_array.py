@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 from repro.cache.replacement import ReplacementPolicy, SetView
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Eviction:
     """Result of an insert: where the line went and what it displaced."""
 
@@ -45,8 +45,10 @@ class CacheSet:
 
     def touch(self, way: int) -> None:
         """Move ``way`` to the MRU position."""
-        self.lru.remove(way)
-        self.lru.insert(0, way)
+        lru = self.lru
+        if lru[0] != way:
+            lru.remove(way)
+            lru.insert(0, way)
 
     def free_way(self) -> Optional[int]:
         for way in range(self.ways):

@@ -81,6 +81,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--capacity-shares", default=None,
                         help="comma-separated way shares (default equal)")
     parser.add_argument("--banks", type=int, default=2)
+    parser.add_argument("--kernel", default=None,
+                        choices=("cycle", "event", "batch"),
+                        help="simulation kernel (default: event; all three "
+                             "produce bit-identical results — see "
+                             "tests/test_kernel_equivalence.py).  With "
+                             "--resume-checkpoint the snapshot's kernel is "
+                             "kept unless this flag overrides it, which is "
+                             "safe for the same reason")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="profile the simulation with cProfile: dump "
+                             "pstats to PATH and print the top-20 "
+                             "cumulative functions")
     parser.add_argument("--warmup", type=int, default=30_000)
     parser.add_argument("--cycles", type=int, default=30_000,
                         help="measurement cycles after warmup")
@@ -292,12 +304,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         system = resumed.system
         collector = resumed.metrics
         attributor = resumed.attributor
+        if args.kernel is not None:
+            # Kernels are bit-identical, so switching mid-run cannot
+            # change the simulation — only how fast it finishes.
+            system.kernel = args.kernel
     else:
         system = CMPSystem(
             config, traces,
             capacity_policy=args.capacity,
             vpc_selection=args.selection,
             telemetry=telemetry,
+            kernel=args.kernel or "event",
         )
     monitor = None
     if resumed is None and observe and args.arbiter == "vpc":
@@ -317,7 +334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # auto-assigned port while the simulation is still in flight.
         print(f"serving telemetry on {server.url} "
               "(/metrics /healthz /snapshot /events)", flush=True)
-        live.begin_run(" ".join(args.workloads))
+        live.begin_run(" ".join(args.workloads), kernel=system.kernel)
         live.begin_batch(1)
         worker = os.getpid()
         live.put(("start", 0, worker))
@@ -337,6 +354,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                     live.put(("violation", 0, worker, asdict(violation)))
                 violations_sent = len(monitor.violations)
 
+    profiler = None
+    if args.profile:
+        from repro.common.profiling import start_profile
+        profiler = start_profile()
     started = time.monotonic()
     if resumed is not None:
         result = resumed.run(checkpointer=checkpointer)
@@ -345,6 +366,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 measure=args.cycles, metrics=collector,
                                 on_window=on_window, checkpoint=checkpointer)
     wall_time = time.monotonic() - started
+    if profiler is not None:
+        from repro.common.profiling import finish_profile
+        finish_profile(profiler, args.profile)
     if attributor is not None:
         attributor.finish(system.cycle)
         result.metrics["attribution"] = attributor.snapshot()

@@ -24,6 +24,8 @@ NEVER = 1 << 62
 class DelayLine(Generic[T]):
     """FIFO with a constant transit delay (a pipelined wire)."""
 
+    __slots__ = ("delay", "_items")
+
     def __init__(self, delay: int) -> None:
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
@@ -55,6 +57,8 @@ class DelayLine(Generic[T]):
 
 class VariableDelayQueue(Generic[T]):
     """Priority queue keyed by delivery cycle (stable for equal keys)."""
+
+    __slots__ = ("_heap", "_tiebreak")
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, T]] = []

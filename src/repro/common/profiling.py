@@ -1,0 +1,38 @@
+"""cProfile plumbing behind the CLIs' ``--profile`` flags.
+
+Profiling is how the kernel work stays honest: the batched kernel
+(:mod:`repro.system.batch_kernel`) was built against these dumps, and
+any future "the simulator feels slow" report should start with
+``python -m repro <workload>... --profile out.pstats`` rather than
+guesswork.  The pstats file feeds ``snakeviz``/``pstats`` offline; the
+top-of-run console print gives the immediate headline.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+
+
+def start_profile() -> cProfile.Profile:
+    """An enabled profiler; pair with :func:`finish_profile`."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    return profiler
+
+
+def finish_profile(profiler: cProfile.Profile, path: str,
+                   top: int = 20) -> None:
+    """Stop ``profiler``, dump pstats to ``path``, print the hot list.
+
+    The console report is sorted by *cumulative* time: for a layered
+    simulator the interesting question is which subsystem a run lives
+    in, not which leaf does the most arithmetic.
+    """
+    profiler.disable()
+    profiler.dump_stats(path)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    print(f"profile: pstats -> {path}; top {top} functions "
+          "by cumulative time:")
+    stats.print_stats(top)

@@ -25,7 +25,7 @@ class AccessType(IntEnum):
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """A single L2 cache request.
 
@@ -33,6 +33,11 @@ class MemoryRequest:
     (``addr // line_size``) and is what every structure beyond the core
     keys on.  ``seq`` is the issuing core's instruction sequence number,
     used to unblock the core's window when a load completes.
+
+    Slotted: one is created per memory operation, so construction cost
+    is engine-hot.  ``req_id`` must keep resolving ``_request_ids``
+    through the module global at call time — the checkpoint restore path
+    rebinds it (repro.resilience.snapshot).
     """
 
     thread_id: int

@@ -16,8 +16,11 @@ class UtilizationMeter:
 
     ``mark_busy(start, duration)`` is called when an access is granted;
     overlapping grants are a modelling bug, so the meter asserts
-    monotonically non-overlapping usage.
+    monotonically non-overlapping usage.  Slotted: ``mark_busy`` runs on
+    every grant of every shared resource.
     """
+
+    __slots__ = ("name", "busy_cycles", "_busy_until")
 
     def __init__(self, name: str = "") -> None:
         self.name = name

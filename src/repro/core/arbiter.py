@@ -28,7 +28,7 @@ from repro.telemetry.events import CAT_ARBITER, PH_INSTANT, TraceEvent
 _entry_order = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class ArbiterEntry:
     """One unit of work waiting for a shared resource.
 
@@ -36,6 +36,11 @@ class ArbiterEntry:
     (2 for a write on the data array — the ECC read-merge-write pair,
     Eq. 4's ``2 * R.L_i`` case); the VPC arbiter uses it for virtual-time
     accounting, and the bank uses it to size the busy window.
+
+    Slotted: entries are created on every resource enqueue, squarely on
+    the engine hot path.  ``order`` must keep resolving ``_entry_order``
+    through the module global at call time — the checkpoint restore path
+    rebinds it (repro.resilience.snapshot).
     """
 
     thread_id: int
@@ -57,7 +62,13 @@ class Arbiter(ABC):
     the paper indicts are observable with the same instruments as the
     VPC design that fixes them.  ``service_latency`` sizes the real
     busy window a grant implies (``service_quanta`` base latencies).
+
+    The hierarchy is slotted (``abc.ABC`` contributes empty slots):
+    enqueue/select attribute reads sit on the engine hot path.
     """
+
+    __slots__ = ("n_threads", "service_latency", "grants", "_trace",
+                 "trace_name")
 
     def __init__(self, n_threads: int, service_latency: int = 1) -> None:
         if n_threads < 1:
@@ -109,6 +120,8 @@ class Arbiter(ABC):
 class FCFSArbiter(Arbiter):
     """Strict arrival-order service across all threads."""
 
+    __slots__ = ("_queue", "_pending")
+
     def __init__(self, n_threads: int, service_latency: int = 1) -> None:
         super().__init__(n_threads, service_latency)
         self._queue: Deque[ArbiterEntry] = deque()
@@ -146,6 +159,8 @@ class RoWFCFSArbiter(Arbiter):
     lets an aggressive load stream starve other threads' stores
     indefinitely (Section 3.1, demonstrated in Section 5.3).
     """
+
+    __slots__ = ("_reads", "_writes", "_pending")
 
     def __init__(self, n_threads: int, service_latency: int = 1) -> None:
         super().__init__(n_threads, service_latency)

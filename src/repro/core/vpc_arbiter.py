@@ -45,6 +45,9 @@ from repro.telemetry.events import CAT_ARBITER, PH_INSTANT, TraceEvent
 class VPCArbiter(Arbiter):
     """Fair-queuing arbiter for a single shared resource."""
 
+    __slots__ = ("selection", "intra_thread_row", "_shares", "_r_l",
+                 "_r_s", "_buffers", "_size", "service_granted")
+
     def __init__(
         self,
         n_threads: int,
@@ -122,9 +125,10 @@ class VPCArbiter(Arbiter):
         self._check_thread(entry)
         entry.arrival = now
         tid = entry.thread_id
-        if not self._buffers[tid] and self._r_s[tid] <= now:
+        buffer = self._buffers[tid]
+        if not buffer and self._r_s[tid] <= now:
             self._r_s[tid] = float(now)  # Eq. 6
-        self._buffers[tid].append(entry)
+        buffer.append(entry)
         self._size += 1
         if self._trace is not None:
             self._trace.emit(TraceEvent(
@@ -135,31 +139,59 @@ class VPCArbiter(Arbiter):
             ))
 
     def select(self, now: int) -> Optional[ArbiterEntry]:
+        # Hot path: this runs on every grant of every shared resource.
+        # The comparison below is the unrolled lexicographic order of the
+        # tuple key (rank, arrival, order) — int/float comparisons are
+        # exact here (cycle counts and order stamps stay far below 2**53).
+        buffers = self._buffers
+        r_s = self._r_s
+        r_l = self._r_l
+        inf = math.inf
+        sfq = self.selection == "start"
+        row = self.intra_thread_row
         best_tid = -1
-        best_key = (math.inf, math.inf, math.inf)
+        best_rank = inf
+        best_arrival = inf
+        best_order = inf
         best_finish = math.inf
         best_entry: Optional[ArbiterEntry] = None
-        for tid, buffer in enumerate(self._buffers):
+        for tid, buffer in enumerate(buffers):
             if not buffer:
                 continue
-            entry = self._pick_within_thread(buffer)
-            finish = self._r_s[tid] + entry.service_quanta * self._r_l[tid]
-            if self.selection == "start":
+            # Inlined _pick_within_thread fast path: the head already is
+            # the oldest demand read (or intra-thread RoW is off).
+            entry = buffer[0]
+            if row and (entry.is_write or entry.is_prefetch):
+                entry = self._pick_within_thread(buffer)
+            finish = r_s[tid] + entry.service_quanta * r_l[tid]
+            if sfq:
                 # SFQ: order by virtual start; infinite-R.L threads still
                 # sort last via the finish value.
-                rank = self._r_s[tid] if finish != math.inf else math.inf
+                rank = r_s[tid] if finish != inf else inf
             else:
                 rank = finish
-            key = (rank, float(entry.arrival), float(entry.order))
-            if key < best_key:
-                best_key = key
+            if rank < best_rank or (
+                rank == best_rank
+                and (
+                    entry.arrival < best_arrival
+                    or (entry.arrival == best_arrival
+                        and entry.order < best_order)
+                )
+            ):
+                best_rank = rank
+                best_arrival = entry.arrival
+                best_order = entry.order
                 best_tid = tid
                 best_entry = entry
                 best_finish = finish
         if best_entry is None:
             return None
 
-        self._buffers[best_tid].remove(best_entry)
+        buffer = buffers[best_tid]
+        if buffer[0] is best_entry:
+            buffer.popleft()
+        else:
+            buffer.remove(best_entry)
         self._size -= 1
         if best_finish != math.inf:
             self._r_s[best_tid] = best_finish  # Eq. 5
@@ -185,8 +217,11 @@ class VPCArbiter(Arbiter):
         Legal per Section 4.1.1: any request in the thread's buffer may be
         served without changing the thread's bandwidth accounting.
         """
+        first = buffer[0]
         if not self.intra_thread_row:
-            return buffer[0]
+            return first
+        if not first.is_write and not first.is_prefetch:
+            return first  # head is already the oldest demand read
         prefetch_read = None
         for entry in buffer:
             if entry.is_write:

@@ -73,6 +73,17 @@ _live = None
 # configure() like the observers; None keeps the fast pool path with
 # zero resilience overhead.
 _resilience = None
+# Simulation kernel every point runs under ("cycle" | "event" |
+# "batch").  Sticky like jobs/cache: an execution policy, not an
+# observer.  All kernels are bit-identical (tests/test_kernel_
+# equivalence.py), so the choice affects wall time only — which is also
+# why kernel is deliberately NOT part of SimPoint/cache_key: a cached
+# result is valid under any kernel.
+_kernel = "event"
+# Lane-parallel lockstep driver width (see run_points): K > 1 advances
+# up to K points in one process, interleaved chunk-by-chunk in
+# simulated-cycle order.  Sticky like jobs.
+_lanes = 1
 
 #: hits/misses observability (tests assert on this; reset via configure).
 cache_stats: Dict[str, int] = {"hits": 0, "misses": 0}
@@ -91,6 +102,8 @@ def configure(
     metrics: Optional[int] = None,
     live=None,
     resilience=None,
+    kernel: Optional[str] = None,
+    lanes: Optional[int] = None,
 ) -> None:
     """Set the process-wide execution policy (``jobs=0`` → all CPUs).
 
@@ -101,15 +114,43 @@ def configure(
     requires ``metrics``.  ``resilience`` is a
     :class:`repro.resilience.fleet.ResilienceConfig` routing execution
     through the journaled, checkpointing, fault-tolerant fleet.
+
+    ``kernel`` selects the simulation kernel every point runs under
+    (``cycle``/``event``/``batch`` — bit-identical, wall time only).
+    ``lanes`` enables the in-process lockstep driver: K points advance
+    chunk-by-chunk in simulated-cycle order in this process.  Lanes are
+    an alternative to process fan-out and to the streaming/resilience
+    planes: combining ``lanes > 1`` with ``jobs > 1``, a live feed, or
+    a resilience policy is an error.
     """
     global _jobs, _cache_enabled, _progress, _telemetry, _metrics_window
-    global _live, _resilience
+    global _live, _resilience, _kernel, _lanes
     if jobs is not None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
         _jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
     if cache is not None:
         _cache_enabled = cache
+    if kernel is not None:
+        from repro.system.kernel import KERNELS
+        if kernel not in KERNELS:
+            raise ValueError(f"unknown simulation kernel {kernel!r}; "
+                             f"choose from {sorted(KERNELS)}")
+        _kernel = kernel
+    if lanes is not None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        _lanes = lanes
+    if _lanes > 1:
+        if _jobs > 1:
+            raise ValueError("lanes and jobs are alternative parallelism "
+                             "modes; configure one of them")
+        if live is not None:
+            raise ValueError("the lockstep lane driver cannot stream a "
+                             "live feed; drop lanes or --serve")
+        if resilience is not None:
+            raise ValueError("the lockstep lane driver does not journal "
+                             "checkpoints; drop lanes or the run dir")
     if metrics is not None and metrics < 1:
         raise ValueError(f"metrics window must be >= 1 cycle, got {metrics}")
     if live is not None and metrics is None:
@@ -151,6 +192,15 @@ def cache_summary() -> Optional[str]:
 
 def configured_jobs() -> int:
     return _jobs
+
+
+def configured_kernel() -> str:
+    """The simulation kernel points run under ("cycle"/"event"/"batch")."""
+    return _kernel
+
+
+def configured_lanes() -> int:
+    return _lanes
 
 
 @dataclass(frozen=True)
@@ -203,6 +253,42 @@ def _build_trace(spec: Tuple, thread_id: int):
     raise ValueError(f"unknown trace spec {spec!r}")
 
 
+def _point_system(point: SimPoint, traces, kernel: Optional[str]):
+    """The CMPSystem for a point — shared by run_point and the lockstep
+    lane driver so both construct bit-identical simulations."""
+    kwargs = {}
+    if kernel is not None:
+        kwargs["kernel"] = kernel
+    return CMPSystem(
+        point.config,
+        traces,
+        capacity_policy=point.capacity_policy,
+        intra_thread_row=point.intra_thread_row,
+        vpc_selection=point.vpc_selection,
+        smt_degree=point.smt_degree,
+        **kwargs,
+    )
+
+
+def _point_observers(system, point: SimPoint, metrics_window: Optional[int]):
+    """Attach the standard per-point observers (collector + attributor)
+    on a private bus; returns ``(metrics, attributor)`` (both None when
+    metrics are off)."""
+    if metrics_window is None:
+        return None, None
+    from repro.telemetry import (
+        InterferenceAttributor,
+        MetricsCollector,
+        TelemetryBus,
+    )
+    bus = system.attach_telemetry(TelemetryBus())
+    metrics = bus.attach(MetricsCollector(
+        point.config.n_threads, window=metrics_window))
+    attributor = bus.attach(InterferenceAttributor(
+        point.config.n_threads))
+    return metrics, attributor
+
+
 def run_point(
     point: SimPoint,
     metrics_window: Optional[int] = None,
@@ -210,6 +296,7 @@ def run_point(
     index: Optional[int] = None,
     checkpoint=None,
     resumable: bool = False,
+    kernel: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate one point from scratch (no cache involvement).
 
@@ -224,6 +311,11 @@ def run_point(
     it simulates, tagged with ``index`` (the point's global number in
     its run) and this worker's pid.  Observation only — the simulated
     result is bit-identical with or without a feed.
+
+    ``kernel`` picks the simulation kernel ("cycle"/"event"/"batch";
+    ``None`` keeps the system default).  Kernels are bit-identical, so
+    it travels to worker processes as an explicit argument but never
+    into the point's cache key.
     """
     if feed is not None and metrics_window is None:
         raise ValueError("a live feed requires a metrics window")
@@ -240,26 +332,8 @@ def run_point(
         traces = [
             _build_trace(spec, tid) for tid, spec in enumerate(point.traces)
         ]
-    system = CMPSystem(
-        point.config,
-        traces,
-        capacity_policy=point.capacity_policy,
-        intra_thread_row=point.intra_thread_row,
-        vpc_selection=point.vpc_selection,
-        smt_degree=point.smt_degree,
-    )
-    metrics = attributor = None
-    if metrics_window is not None:
-        from repro.telemetry import (
-            InterferenceAttributor,
-            MetricsCollector,
-            TelemetryBus,
-        )
-        bus = system.attach_telemetry(TelemetryBus())
-        metrics = bus.attach(MetricsCollector(
-            point.config.n_threads, window=metrics_window))
-        attributor = bus.attach(InterferenceAttributor(
-            point.config.n_threads))
+    system = _point_system(point, traces, kernel)
+    metrics, attributor = _point_observers(system, point, metrics_window)
     on_window = None
     monitor = None
     if feed is not None:
@@ -298,6 +372,137 @@ def run_point(
         for violation in monitor.violations[violations_sent:]:
             feed.put(("violation", index, os.getpid(), asdict(violation)))
     return result
+
+
+# ---------------------------------------------------------------------- #
+# Lockstep lane driver.
+# ---------------------------------------------------------------------- #
+
+# Lockstep granularity when no metrics window dictates the cadence.
+# Chunked system.run() calls are bit-identical to one call (the
+# kernels' exactness contract), so the value affects interleaving
+# fairness and nothing else.
+_LANE_CHUNK = 4096
+
+
+class _Lane:
+    """One in-flight point's progress through the simulation protocol."""
+
+    __slots__ = ("index", "point", "system", "metrics", "attributor",
+                 "warm_left", "state", "started_us")
+
+
+def _run_lockstep(points, todo, lanes, kernel, metrics_window,
+                  finish, wall_us) -> None:
+    """Advance up to ``lanes`` points chunk-by-chunk in one process.
+
+    Each lane replicates :func:`repro.system.simulator.run_simulation`'s
+    protocol exactly — warm up, capture a :class:`MeasureState`, measure
+    in metrics-window chunks (or :data:`_LANE_CHUNK` when unobserved),
+    finalize from the captured snapshots.  The only difference from
+    ``run_point`` is that ``system.run()`` calls from different lanes
+    interleave; systems share no state, and chunked runs are
+    bit-identical to whole runs, so every lane's result is bit-identical
+    to its serial ``run_point``.
+
+    Scheduling state is one flat :class:`repro.system.soa.WakeTable` of
+    per-lane simulated cycles: the least-advanced lane (``argmin``) runs
+    next, which keeps all K resident systems within one chunk of each
+    other — bounded memory skew and evenly-spread completion.  A lane
+    whose point completes reloads from the remaining queue; drained
+    lanes park at ``NEVER``.
+    """
+    from repro.common.latch import NEVER
+    from repro.system.simulator import MeasureState, _finalize
+    from repro.system.soa import WakeTable
+
+    queue = list(todo)
+    width = min(lanes, len(queue))
+    progress = WakeTable(width)
+    slots: List[Optional[_Lane]] = [None] * width
+
+    def begin_measure(lane: _Lane) -> None:
+        system = lane.system
+        point = lane.point
+        n_threads = point.config.n_threads
+        lane.state = MeasureState(
+            warmup=point.warmup,
+            measure=point.measure,
+            remaining=point.measure,
+            dispatched_before=[
+                system.thread_dispatched(tid) for tid in range(n_threads)
+            ],
+            meter_snaps=[bank.utilization_snapshot()
+                         for bank in system.banks],
+            counter_snaps=[bank.counters.snapshot()
+                           for bank in system.banks],
+        )
+        if lane.metrics is not None:
+            lane.metrics.sample(system)
+
+    def load(slot: int) -> None:
+        if not queue:
+            slots[slot] = None
+            progress.data[slot] = NEVER
+            return
+        index = queue.pop(0)
+        point = points[index]
+        if point.warmup < 0 or point.measure <= 0:
+            raise ValueError("warmup must be >= 0 and measure > 0")
+        lane = _Lane()
+        lane.index = index
+        lane.point = point
+        lane.started_us = wall_us()
+        traces = [
+            _build_trace(spec, tid) for tid, spec in enumerate(point.traces)
+        ]
+        lane.system = _point_system(point, traces, kernel)
+        lane.metrics, lane.attributor = _point_observers(
+            lane.system, point, metrics_window)
+        lane.warm_left = point.warmup
+        lane.state = None
+        slots[slot] = lane
+        progress.data[slot] = 0
+        if lane.warm_left == 0:
+            begin_measure(lane)
+
+    for slot in range(width):
+        load(slot)
+
+    while True:
+        slot = progress.argmin()
+        if progress.data[slot] >= NEVER:
+            return  # every lane drained
+        lane = slots[slot]
+        system = lane.system
+        if lane.warm_left > 0:
+            chunk = min(lane.warm_left, _LANE_CHUNK)
+            system.run(chunk)
+            lane.warm_left -= chunk
+            if lane.warm_left == 0:
+                begin_measure(lane)
+            progress.data[slot] = system.cycle
+            continue
+        state = lane.state
+        window = (lane.metrics.window if lane.metrics is not None
+                  else _LANE_CHUNK)
+        chunk = min(state.remaining, window)
+        system.run(chunk)
+        state.remaining -= chunk
+        if lane.metrics is not None:
+            lane.metrics.sample(system)
+        if state.remaining > 0:
+            progress.data[slot] = system.cycle
+            continue
+        if lane.metrics is not None:
+            lane.metrics.finish(system.cycle)
+        result = _finalize(system, state, lane.metrics)
+        if lane.attributor is not None:
+            lane.attributor.finish(system.cycle)
+            result.metrics["attribution"] = lane.attributor.snapshot()
+            result.metrics["arbiter"] = lane.point.config.arbiter
+        finish(lane.index, result, lane.started_us)
+        load(slot)
 
 
 # ---------------------------------------------------------------------- #
@@ -385,6 +590,7 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
         results_r = fleet.run_points_resilient(
             points, _resilience, jobs=_jobs,
             metrics_window=_metrics_window, progress=_progress, live=_live,
+            kernel=_kernel,
         )
         if _metrics_window is not None:
             metrics_log.extend(
@@ -475,7 +681,8 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
                 for index in todo:
                     pending[pool.submit(run_point, points[index],
                                         metrics_window, feed,
-                                        base + index)] = (
+                                        base + index,
+                                        kernel=_kernel)] = (
                         index, wall_us()
                     )
                 while pending:
@@ -499,10 +706,13 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
                 stop_draining.set()
                 drainer.join(timeout=10.0)
                 manager.shutdown()
+    elif _lanes > 1 and len(todo) > 1:
+        _run_lockstep(points, todo, _lanes, _kernel, metrics_window,
+                      finish, wall_us)
     else:
         for index in todo:
             finish(index, run_point(points[index], metrics_window, live,
-                                    base + index),
+                                    base + index, kernel=_kernel),
                    wall_us())
     if metrics_window is not None:
         metrics_log.extend(

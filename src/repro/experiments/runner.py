@@ -45,9 +45,10 @@ def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
             f"unknown experiment {exp_id!r}; known: {sorted(REGISTRY)}"
         )
     cache_before = dict(parallel.cache_stats)
+    kernel = parallel.configured_kernel()
     live = parallel.configured_live()
     if live is not None:
-        live.begin_run(exp_id)
+        live.begin_run(exp_id, kernel=kernel)
     started = time.monotonic()
     result = REGISTRY[exp_id](fast=fast)
     snapshots = parallel.drain_metrics()
@@ -57,6 +58,9 @@ def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
         aggregate["attribution"] = merge_attribution(
             [snap.get("attribution") for snap in snapshots]
         )
+        # Recorded here AND injected by LiveRun.merged() so the disk
+        # aggregate stays byte-identical to what /snapshot serves.
+        aggregate["kernel"] = kernel
         result.metrics = aggregate
     if live is not None:
         # /snapshot now serves the exact aggregate written to disk.
@@ -74,7 +78,7 @@ def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
                             and resilience.chaos.armed()),
         }
     result.manifest = RunManifest.collect(
-        kernel="event",
+        kernel=kernel,
         cache={
             key: parallel.cache_stats[key] - cache_before[key]
             for key in ("hits", "misses")
@@ -103,6 +107,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for independent simulation "
                              "points (0 = all CPUs; default 1, serial)")
+    parser.add_argument("--kernel", default="event",
+                        choices=("cycle", "event", "batch"),
+                        help="simulation kernel for every point "
+                             "(bit-identical results; wall time only; "
+                             "recorded in manifests and /snapshot)")
+    parser.add_argument("--lanes", type=int, default=1, metavar="K",
+                        help="advance up to K points in lockstep in one "
+                             "process (alternative to --jobs; incompatible "
+                             "with --serve and --run-dir/--resume)")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="profile the experiment runs with cProfile: "
+                             "dump pstats to PATH and print the top-20 "
+                             "cumulative functions")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk target-IPC result cache")
     parser.add_argument("--progress", action="store_true",
@@ -229,10 +246,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         server.start()
         print(f"serving telemetry on {server.url} "
               "(/metrics /healthz /snapshot /events)", flush=True)
+    if args.lanes > 1:
+        if args.jobs > 1:
+            parser.error("--lanes and --jobs are alternative parallelism "
+                         "modes; pick one")
+        if args.serve is not None:
+            parser.error("--lanes cannot stream a live feed; drop --serve")
+        if run_dir is not None:
+            parser.error("--lanes does not journal checkpoints; drop "
+                         "--run-dir/--resume")
     parallel.configure(jobs=args.jobs, cache=not args.no_cache,
                        progress=progress, telemetry=telemetry,
                        metrics=metrics_window, live=live,
-                       resilience=resilience)
+                       resilience=resilience, kernel=args.kernel,
+                       lanes=args.lanes)
 
     if args.list or not args.experiments:
         for exp_id in sorted(REGISTRY):
@@ -291,54 +318,64 @@ def main(argv: Optional[List[str]] = None) -> int:
             server.stop()
         return code
 
-    for exp_id in requested:
-        started = time.time()
-        try:
-            result = run_experiment(exp_id, fast=args.fast)
-        except KeyboardInterrupt:
-            return bail(exp_id, f"interrupted during {exp_id}.", 130)
-        except PointsExcludedError as exc:
-            return bail(exp_id, f"{exp_id} incomplete:\n{exc}", 3)
-        if args.chart:
-            from repro.experiments.charts import render_result
-            print(render_result(result))
-        else:
-            print(result.format_table())
-        print(f"({time.time() - started:.1f}s)\n")
-        if args.manifest is not None and result.manifest is not None:
-            path = Path(args.manifest) / f"{exp_id}.manifest.json"
-            result.manifest.write(path)
-            print(f"manifest -> {path}")
-        if args.metrics is not None and result.metrics is not None:
-            import json
-            path = Path(args.metrics) / f"{exp_id}.metrics.json"
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(json.dumps(result.metrics, indent=2) + "\n")
-            print(f"metrics -> {path} "
-                  f"({result.metrics['points']} point snapshots)")
-        if args.report is not None and result.metrics is not None:
-            from repro.telemetry import (
-                build_report_card,
-                merge_report_cards,
-                render_fleet_card,
-                write_report,
-            )
-            cards = [
-                build_report_card(
-                    n_threads=snap["n_threads"],
-                    arbiter=snap.get("arbiter", "?"),
-                    metrics=snap,
-                    attribution=snap.get("attribution"),
-                    run_label=f"{exp_id}[{index}]",
+    profiler = None
+    if args.profile:
+        from repro.common.profiling import start_profile
+        profiler = start_profile()
+    try:
+        for exp_id in requested:
+            started = time.time()
+            try:
+                result = run_experiment(exp_id, fast=args.fast)
+            except KeyboardInterrupt:
+                return bail(exp_id, f"interrupted during {exp_id}.", 130)
+            except PointsExcludedError as exc:
+                return bail(exp_id, f"{exp_id} incomplete:\n{exc}", 3)
+            if args.chart:
+                from repro.experiments.charts import render_result
+                print(render_result(result))
+            else:
+                print(result.format_table())
+            print(f"({time.time() - started:.1f}s)\n")
+            if args.manifest is not None and result.manifest is not None:
+                path = Path(args.manifest) / f"{exp_id}.manifest.json"
+                result.manifest.write(path)
+                print(f"manifest -> {path}")
+            if args.metrics is not None and result.metrics is not None:
+                import json
+                path = Path(args.metrics) / f"{exp_id}.metrics.json"
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(json.dumps(result.metrics, indent=2) + "\n")
+                print(f"metrics -> {path} "
+                      f"({result.metrics['points']} point snapshots)")
+            if args.report is not None and result.metrics is not None:
+                from repro.telemetry import (
+                    build_report_card,
+                    merge_report_cards,
+                    render_fleet_card,
+                    write_report,
                 )
-                for index, snap in enumerate(result.metrics["per_point"])
-            ]
-            fleet = merge_report_cards(cards, label=exp_id)
-            print(render_fleet_card(fleet))
-            path = Path(args.report) / f"{exp_id}.report.json"
-            path.parent.mkdir(parents=True, exist_ok=True)
-            write_report(fleet, str(path))
-            print(f"report -> {path}\n")
+                cards = [
+                    build_report_card(
+                        n_threads=snap["n_threads"],
+                        arbiter=snap.get("arbiter", "?"),
+                        metrics=snap,
+                        attribution=snap.get("attribution"),
+                        run_label=f"{exp_id}[{index}]",
+                    )
+                    for index, snap in enumerate(
+                        result.metrics["per_point"])
+                ]
+                fleet = merge_report_cards(cards, label=exp_id)
+                print(render_fleet_card(fleet))
+                path = Path(args.report) / f"{exp_id}.report.json"
+                path.parent.mkdir(parents=True, exist_ok=True)
+                write_report(fleet, str(path))
+                print(f"report -> {path}\n")
+    finally:
+        if profiler is not None:
+            from repro.common.profiling import finish_profile
+            finish_profile(profiler, args.profile)
     summary = parallel.cache_summary()
     if summary:
         print(summary)

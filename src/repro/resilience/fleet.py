@@ -98,7 +98,7 @@ class _JournalHook:
 
 
 def _fleet_worker(point, metrics_window, run_dir, key, index, attempt,
-                  every, chaos_config) -> None:
+                  every, chaos_config, kernel=None) -> None:
     """Child-process entry: run (or resume) one point, store its result.
 
     Exit code 0 with a readable sidecar is the only success signal the
@@ -106,7 +106,7 @@ def _fleet_worker(point, metrics_window, run_dir, key, index, attempt,
     """
     try:
         result = _run_or_resume(point, metrics_window, run_dir, key, index,
-                                attempt, every, chaos_config)
+                                attempt, every, chaos_config, kernel)
         store_result(result_path(run_dir, key), result)
     except Exception:
         traceback.print_exc()
@@ -114,7 +114,7 @@ def _fleet_worker(point, metrics_window, run_dir, key, index, attempt,
 
 
 def _run_or_resume(point, metrics_window, run_dir, key, index, attempt,
-                   every, chaos_config):
+                   every, chaos_config, kernel=None):
     journal = RunJournal(run_dir)
     chaos = None
     if chaos_config is not None and chaos_config.armed():
@@ -147,7 +147,8 @@ def _run_or_resume(point, metrics_window, run_dir, key, index, attempt,
     from repro.experiments import parallel
     return parallel.run_point(point, metrics_window,
                               checkpoint=checkpointer,
-                              resumable=bool(every))
+                              resumable=bool(every),
+                              kernel=kernel)
 
 
 class _Slot:
@@ -170,6 +171,7 @@ def run_points_resilient(
     metrics_window: Optional[int] = None,
     progress=None,
     live=None,
+    kernel: Optional[str] = None,
 ) -> List:
     """Run a batch of points under the resilience policy.
 
@@ -253,7 +255,7 @@ def run_points_resilient(
                     target=_fleet_worker,
                     args=(points[ready.index], metrics_window, str(run_dir),
                           ready.key, ready.index, ready.attempt,
-                          resilience.checkpoint_every, chaos),
+                          resilience.checkpoint_every, chaos, kernel),
                 )
                 proc.start()
                 journal.point_started(ready.key, ready.index, ready.attempt,

@@ -59,7 +59,7 @@ class CMPSystem:
             )
         if capacity_policy not in ("vpc", "lru"):
             raise ValueError(f"unknown capacity policy {capacity_policy!r}")
-        if kernel not in ("cycle", "event"):
+        if kernel not in KERNELS:
             raise ValueError(f"unknown simulation kernel {kernel!r}")
         self.config = config
         self.kernel = kernel

@@ -1,7 +1,8 @@
 """Simulation kernels: the cycle-by-cycle stepper and a skip-ahead
-discrete-event kernel.
+discrete-event kernel (the batched SoA kernel lives in
+:mod:`repro.system.batch_kernel`).
 
-Both kernels advance a :class:`~repro.system.cmp.CMPSystem` and must
+Every kernel advances a :class:`~repro.system.cmp.CMPSystem` and must
 produce **bit-identical** results — every counter, IPC, and utilization
 (guarded by ``tests/test_kernel_equivalence.py``).  The cycle kernel is
 the reference: it calls ``system.step()`` once per processor cycle.
@@ -32,6 +33,7 @@ effect goes unaccounted (the cores' L1 retry probes are replayed by
 from __future__ import annotations
 
 from repro.common.latch import NEVER
+from repro.system.batch_kernel import run_batch
 from repro.telemetry.events import CAT_KERNEL, PH_INSTANT, TraceEvent
 
 
@@ -227,4 +229,4 @@ def run_event(system, cycles: int) -> None:
                 system._skip_penalty = 1
 
 
-KERNELS = {"cycle": run_cycle, "event": run_event}
+KERNELS = {"cycle": run_cycle, "event": run_event, "batch": run_batch}

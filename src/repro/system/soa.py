@@ -1,0 +1,125 @@
+"""Structure-of-arrays scheduling state for the batched kernel.
+
+The batch kernel (:mod:`repro.system.batch_kernel`) and the
+lane-parallel experiment driver (:mod:`repro.experiments.parallel`)
+keep their *scheduling* state — per-component wake cycles, per-core
+settle cycles, per-lane progress counters — in flat parallel arrays
+rather than scattered across object attributes, so the hot operations
+(min-scans to find the next event, bulk settles, lane argmins) touch
+contiguous storage instead of chasing pointers.
+
+Two backends, selected at import time:
+
+* **numpy** (optional extra, ``pip install .[numpy]``) — vectorized
+  ``min``/``argmin``/bulk fills; pays off when one array spans many
+  lanes (K experiment points x S per-lane slots).
+* **pure Python** (``list`` of ints) — always available; for the
+  handful of slots a single system needs (a few crossbar lanes + a few
+  banks), builtin ``min`` over a small list beats numpy's per-call
+  overhead, so the single-system batch kernel *forces* this backend.
+
+The authoritative architectural state (arbiter virtual-time registers,
+cache arrays, MSHRs, queues) deliberately stays in the component
+objects: the batch kernel's bit-exactness argument and the REPRO-CKPT
+checkpoint format both rely on the object graph being the single source
+of truth (docs/ARCHITECTURE.md, "Batched kernel").  The arrays here are
+derived bookkeeping, rebuilt from the objects at every ``run()`` entry
+and discarded at exit — they never need to serialize.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.latch import NEVER
+
+try:  # pragma: no cover - exercised by the no-numpy CI leg
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+
+class WakeTable:
+    """A flat array of wake cycles, one slot per scheduled entity.
+
+    ``NEVER`` marks an idle slot.  ``data`` is the raw backing store
+    (a ``list`` or a numpy ``int64`` array) — hot loops index it
+    directly; the methods here cover the batch operations.
+    """
+
+    __slots__ = ("n", "data", "_numpy")
+
+    def __init__(self, n: int, fill: int = NEVER,
+                 force_list: bool = False) -> None:
+        if n < 0:
+            raise ValueError("WakeTable size must be >= 0")
+        self.n = n
+        self._numpy = HAVE_NUMPY and not force_list
+        if self._numpy:
+            self.data = _np.full(n, fill, dtype=_np.int64)
+        else:
+            self.data = [fill] * n
+
+    def fill(self, value: int) -> None:
+        if self._numpy:
+            self.data[:] = value
+        else:
+            data = self.data
+            for i in range(self.n):
+                data[i] = value
+
+    def lower(self, index: int, cycle: int) -> None:
+        """Pull slot ``index`` earlier (wakes may only move earlier —
+        pushing one later would risk missing a state change)."""
+        if cycle < self.data[index]:
+            self.data[index] = cycle
+
+    def min(self) -> int:
+        if self.n == 0:
+            return NEVER
+        if self._numpy:
+            return int(self.data.min())
+        return min(self.data)
+
+    def argmin(self) -> int:
+        if self.n == 0:
+            raise ValueError("argmin of an empty WakeTable")
+        if self._numpy:
+            return int(self.data.argmin())
+        data = self.data
+        best = 0
+        best_value = data[0]
+        for i in range(1, self.n):
+            if data[i] < best_value:
+                best = i
+                best_value = data[i]
+        return best
+
+    def min_pending(self, limit: int) -> int:
+        """Minimum over slots strictly below ``limit`` (``NEVER`` if
+        every slot is at or past it) — the lane driver's "who still has
+        work" scan."""
+        if self._numpy:
+            pending = self.data[self.data < limit]
+            return int(pending.min()) if pending.size else NEVER
+        best = NEVER
+        for value in self.data:
+            if value < limit and value < best:
+                best = value
+        return best
+
+    def tolist(self) -> List[int]:
+        if self._numpy:
+            return [int(v) for v in self.data]
+        return list(self.data)
+
+
+def make_wake_list(n: int, fill: int = NEVER) -> List[int]:
+    """A bare list of wake cycles for single-system hot loops, where
+    list indexing beats any array backend (see module docstring)."""
+    return [fill] * n
+
+
+__all__ = ["HAVE_NUMPY", "NEVER", "WakeTable", "make_wake_list"]

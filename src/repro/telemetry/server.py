@@ -83,6 +83,7 @@ class LiveRun:
         self._lock = threading.Lock()
         self._subscribers: List[queue.Queue] = []
         self.run_label = ""
+        self.run_kernel = ""      # simulation kernel ("cycle"/"event"/...)
         self.total = 0
         self.done = 0
         self.violations = 0
@@ -118,10 +119,16 @@ class LiveRun:
         elif kind == "hb":
             self.heartbeat(msg[1])
 
-    def begin_run(self, label: str = "") -> None:
-        """Start (or switch to) a named run: clears per-point state."""
+    def begin_run(self, label: str = "", kernel: str = "") -> None:
+        """Start (or switch to) a named run: clears per-point state.
+
+        ``kernel`` records which simulation kernel the run executes
+        under; :meth:`merged` stamps it into every live aggregate so
+        ``/snapshot`` reports it mid-run, not only at the end.
+        """
         with self._lock:
             self.run_label = label
+            self.run_kernel = kernel
             self.total = self.done = self.violations = 0
             self.retries = self.excluded = 0
             self.finished = False
@@ -232,6 +239,10 @@ class LiveRun:
         aggregate["attribution"] = merge_attribution(
             [snap.get("attribution") for snap in snapshots]
         )
+        if self.run_kernel:
+            # Mirrors the key the experiment runner writes into its disk
+            # aggregate, so live and final snapshots agree field-for-field.
+            aggregate["kernel"] = self.run_kernel
         with self._lock:
             # Cache until the next window/point invalidates it; a feed
             # update that raced the merge leaves the cache cold instead.
