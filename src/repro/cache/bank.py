@@ -198,6 +198,8 @@ class CacheBank:
         self.counters = Counters()
         # Telemetry (repro.telemetry): None = disabled = free.
         self._trace = None
+        # Cycle accounting (repro.telemetry.cycles): same contract.
+        self._acct = None
 
     # ------------------------------------------------------------------ #
     # Input side (called by the L2 when the crossbar delivers a request).
@@ -217,6 +219,8 @@ class CacheBank:
         if request.access is AccessType.WRITE:
             self._pending_stores[request.thread_id].append(request)
         else:
+            if self._acct is not None:
+                self._acct.bank_accepted(request.thread_id, now)
             self._load_q[request.thread_id].append(request)
 
     # ------------------------------------------------------------------ #
@@ -495,6 +499,8 @@ class CacheBank:
         elif kind == _MISSTAG_DONE:
             sm.state = SMState.MEM_WAIT
             self._mem_wait.append(sm)
+            if self._acct is not None and sm.request.is_read:
+                self._acct.mem_queued(sm.thread_id, now)
         else:
             raise RuntimeError(f"unknown bank event kind {kind}")
 
@@ -515,6 +521,8 @@ class CacheBank:
         else:
             sm.state = SMState.MEM_WAIT
             self._mem_wait.append(sm)
+            if self._acct is not None and sm.request.is_read:
+                self._acct.mem_queued(sm.thread_id, now)
 
     def _data_done(self, sm: StateMachine, now: int) -> None:
         sm.request.data_done_cycle = now
@@ -578,6 +586,7 @@ class CacheBank:
                 sm.request.line,
                 notify=self._make_mem_callback(sm),
                 now=now,
+                tracked=sm.request.is_read,
             )
         while self._wbmem_wait:
             sm = self._wbmem_wait[0]

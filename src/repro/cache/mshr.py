@@ -35,6 +35,10 @@ class MSHRFile:
         # Telemetry (repro.telemetry): None = disabled = free.
         self._trace = None
         self.trace_name = "mshrs"
+        # Cycle accounting: the owning thread's census gains/loses an
+        # in-flight line at primary allocate/complete.
+        self._acct = None
+        self.acct_tid = -1
 
     def _emit_occupancy(self, now: int, what: str, line: int) -> None:
         # Counter events carry numeric series only (Perfetto renders each
@@ -77,6 +81,8 @@ class MSHRFile:
         self.primary_misses += 1
         if self._trace is not None and now >= 0:
             self._emit_occupancy(now, "allocate", line)
+        if self._acct is not None and now >= 0:
+            self._acct.mshr_allocated(self.acct_tid, now)
         return True
 
     def complete(self, line: int, now: int = -1) -> "MSHREntry":
@@ -87,6 +93,8 @@ class MSHRFile:
             raise KeyError(f"no MSHR outstanding for line {line:#x}")
         if self._trace is not None and now >= 0:
             self._emit_occupancy(now, "retire", line)
+        if self._acct is not None and now >= 0:
+            self._acct.mshr_completed(self.acct_tid, now)
         return entry
 
     @property

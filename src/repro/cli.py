@@ -130,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="CYCLES",
                         help="metrics/QoS-audit window in cycles "
                              "(default 2000)")
+    parser.add_argument("--cpi-stacks", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="attach per-thread cycle accounting (every "
+                             "measured cycle lands in exactly one CPI-stack "
+                             "bucket); print the stacks, or write the "
+                             "repro.cpi-stack/1 JSON to PATH when given")
     parser.add_argument("--serve", type=int, default=None, metavar="PORT",
                         help="serve live telemetry over HTTP while the "
                              "simulation runs (/metrics /healthz /snapshot "
@@ -187,10 +193,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.resume_checkpoint and (
             args.report is not None or args.serve is not None
-            or args.trace or args.histograms):
+            or args.trace or args.histograms
+            or args.cpi_stacks is not None):
         parser.error("--resume-checkpoint continues the original run's "
-                     "observability; --report/--serve/--trace/--histograms "
-                     "cannot be added mid-run")
+                     "observability; --report/--serve/--trace/--histograms/"
+                     "--cpi-stacks cannot be added mid-run (a checkpointed "
+                     "accounting attachment resumes automatically)")
     resumed = None
     if args.resume_checkpoint:
         from repro.resilience import open_checkpoint
@@ -316,6 +324,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             telemetry=telemetry,
             kernel=args.kernel or "event",
         )
+    if resumed is None and args.cpi_stacks is not None:
+        system.attach_cycle_accounting()
     monitor = None
     if resumed is None and observe and args.arbiter == "vpc":
         from repro.core.monitor import QoSMonitor
@@ -373,6 +383,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         attributor.finish(system.cycle)
         result.metrics["attribution"] = attributor.snapshot()
         result.metrics["arbiter"] = config.arbiter
+    if result.metrics is not None and result.cpi_stacks is not None:
+        result.metrics["cpi_stacks"] = result.cpi_stacks
     if monitor is not None:
         monitor.finish(system.cycle)
     if live is not None:
@@ -394,6 +406,24 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"({result.write_fraction:.0%} writes), "
           f"gathering rate {result.gathering_rate:.0%}, "
           f"miss rate {result.l2_miss_rate:.0%}")
+
+    if args.cpi_stacks is not None and result.cpi_stacks is not None:
+        stacks = result.cpi_stacks
+        buckets = stacks["buckets"]
+        print(f"  cycle accounting ({stacks['measured_cycles']} cycles "
+              "per thread, buckets sum exactly):")
+        for tid, row in enumerate(stacks["threads"]):
+            parts = [f"{name} {value}"
+                     for name, value in sorted(zip(buckets, row),
+                                               key=lambda kv: -kv[1])
+                     if value]
+            print(f"    t{tid}: " + (", ".join(parts) or "(idle)"))
+        if args.cpi_stacks != "-":
+            import json
+            with open(args.cpi_stacks, "w", encoding="utf-8") as handle:
+                json.dump(stacks, handle, indent=2)
+                handle.write("\n")
+            print(f"  cpi stacks -> {args.cpi_stacks}")
 
     if args.metrics and result.metrics is None:
         print("  metrics: none collected (the resumed checkpoint was "

@@ -68,7 +68,7 @@ class Arbiter(ABC):
     """
 
     __slots__ = ("n_threads", "service_latency", "grants", "_trace",
-                 "trace_name")
+                 "trace_name", "_acct", "acct_stage")
 
     def __init__(self, n_threads: int, service_latency: int = 1) -> None:
         if n_threads < 1:
@@ -82,6 +82,10 @@ class Arbiter(ABC):
         self.grants = 0
         self._trace = None
         self.trace_name = "arbiter"
+        # Cycle-accounting sink + resource kind ("tag"/"data"/"bus");
+        # None when disabled, like _trace.
+        self._acct = None
+        self.acct_stage = ""
 
     @abstractmethod
     def enqueue(self, entry: ArbiterEntry, now: int) -> None:
@@ -134,6 +138,8 @@ class FCFSArbiter(Arbiter):
         self._pending[entry.thread_id] += 1
         if self._trace is not None:
             self._emit_enqueue(entry, now, self._pending[entry.thread_id])
+        if self._acct is not None:
+            self._acct.arbiter_queued(self.acct_stage, entry, now)
 
     def select(self, now: int) -> Optional[ArbiterEntry]:
         if not self._queue:
@@ -143,6 +149,8 @@ class FCFSArbiter(Arbiter):
         self._pending[entry.thread_id] -= 1
         if self._trace is not None:
             self._emit_grant(entry, now, self._pending[entry.thread_id])
+        if self._acct is not None:
+            self._acct.arbiter_granted(self.acct_stage, entry, now)
         return entry
 
     def __len__(self) -> int:
@@ -178,6 +186,8 @@ class RoWFCFSArbiter(Arbiter):
         self._pending[entry.thread_id] += 1
         if self._trace is not None:
             self._emit_enqueue(entry, now, self._pending[entry.thread_id])
+        if self._acct is not None:
+            self._acct.arbiter_queued(self.acct_stage, entry, now)
 
     def select(self, now: int) -> Optional[ArbiterEntry]:
         if self._reads:
@@ -190,6 +200,8 @@ class RoWFCFSArbiter(Arbiter):
         self._pending[entry.thread_id] -= 1
         if self._trace is not None:
             self._emit_grant(entry, now, self._pending[entry.thread_id])
+        if self._acct is not None:
+            self._acct.arbiter_granted(self.acct_stage, entry, now)
         return entry
 
     def __len__(self) -> int:

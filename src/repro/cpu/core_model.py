@@ -29,6 +29,7 @@ from repro.cache.mshr import MSHRFile
 from repro.common.config import CoreConfig, L1Config
 from repro.common.records import AccessType, MemoryRequest, make_request
 from repro.cpu.isa import LOAD, NONMEM, STORE, TraceItem
+from repro.telemetry.cycles import R_IDLE, R_LOAD, R_MSHR, R_STORE
 
 
 class CoreModel:
@@ -63,6 +64,8 @@ class CoreModel:
         # quiescent state can only be left via on_response (which clears
         # this), so repeated per-cycle checks cost one attribute read.
         self._quiet = False
+        # Cycle-accounting sink (None when disabled; see telemetry.cycles).
+        self._acct = None
         # Prefetch statistics (prefetching is off unless configured).
         self.prefetches_issued = 0
         self.prefetches_useful = 0
@@ -108,6 +111,38 @@ class CoreModel:
             progressed = True
         if not progressed and not self.done:
             self.stall_cycles += 1
+        if self._acct is not None:
+            if progressed:
+                self._acct.progress(self.core_id, now, self._stall_reason())
+            else:
+                self._acct.stall(self.core_id, now, self._stall_reason())
+
+    def _stall_reason(self) -> int:
+        """Classify why the *next* tick would stall (mirrors ``tick``'s
+        break conditions exactly — including the stash-drop on a window
+        stall, which must classify as a load stall, not idle)."""
+        if self.done:
+            return R_IDLE
+        if self._nonmem_left:
+            return R_LOAD  # window stall: waiting on the oldest load
+        if self._outstanding_loads and self._window_headroom() <= 0:
+            return R_LOAD  # window stall (a stashed item would be dropped)
+        item = self._current
+        if item is None:
+            return R_IDLE  # next tick pulls fresh trace work
+        kind = item[0]
+        if kind == LOAD:
+            if item[2] and self._outstanding_loads:
+                return R_LOAD  # dependence stall
+            line = item[1] // self._line_size
+            if self.l1.array.contains(line):
+                return R_LOAD  # retry would hit; transiently blocked
+            if not self.mshrs.can_allocate(line):
+                return R_MSHR
+            return R_LOAD
+        if kind == STORE:
+            return R_STORE
+        return R_IDLE
 
     def _next_item(self) -> Optional[TraceItem]:
         if self._current is not None:

@@ -67,6 +67,12 @@ _metrics_window: Optional[int] = None
 # workers stream per-window snapshots/heartbeats/QoS violations to it
 # mid-point.  Requires metrics collection; reset by every configure().
 _live = None
+# Cycle accounting (repro.telemetry.cycles): when True every point runs
+# with a CycleAccounting attached and the CPI-stack snapshot rides back
+# on SimulationResult.cpi_stacks (and, when metrics are also on, inside
+# the metrics snapshot as "cpi_stacks" so aggregates carry it).  Reset
+# by every configure() like the observers.
+_cpi_stacks = False
 # Resilience policy (repro.resilience.fleet.ResilienceConfig): when set,
 # run_points() routes through the fault-tolerant fleet — journaled run
 # directory, per-point checkpoints, timeouts/retries.  Reset by every
@@ -104,6 +110,7 @@ def configure(
     resilience=None,
     kernel: Optional[str] = None,
     lanes: Optional[int] = None,
+    cpi_stacks: bool = False,
 ) -> None:
     """Set the process-wide execution policy (``jobs=0`` → all CPUs).
 
@@ -115,6 +122,10 @@ def configure(
     :class:`repro.resilience.fleet.ResilienceConfig` routing execution
     through the journaled, checkpointing, fault-tolerant fleet.
 
+    ``cpi_stacks`` enables per-thread cycle accounting
+    (:mod:`repro.telemetry.cycles`) on every point; like the observers
+    it is reset by every call.
+
     ``kernel`` selects the simulation kernel every point runs under
     (``cycle``/``event``/``batch`` — bit-identical, wall time only).
     ``lanes`` enables the in-process lockstep driver: K points advance
@@ -124,7 +135,7 @@ def configure(
     a resilience policy is an error.
     """
     global _jobs, _cache_enabled, _progress, _telemetry, _metrics_window
-    global _live, _resilience, _kernel, _lanes
+    global _live, _resilience, _kernel, _lanes, _cpi_stacks
     if jobs is not None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
@@ -160,6 +171,7 @@ def configure(
     _metrics_window = metrics
     _live = live
     _resilience = resilience
+    _cpi_stacks = cpi_stacks
     cache_stats["hits"] = 0
     cache_stats["misses"] = 0
     metrics_log.clear()
@@ -201,6 +213,11 @@ def configured_kernel() -> str:
 
 def configured_lanes() -> int:
     return _lanes
+
+
+def configured_cpi_stacks() -> bool:
+    """Whether per-point cycle accounting is enabled for this process."""
+    return _cpi_stacks
 
 
 @dataclass(frozen=True)
@@ -297,6 +314,7 @@ def run_point(
     checkpoint=None,
     resumable: bool = False,
     kernel: Optional[str] = None,
+    cpi_stacks: bool = False,
 ) -> SimulationResult:
     """Simulate one point from scratch (no cache involvement).
 
@@ -316,6 +334,11 @@ def run_point(
     ``None`` keeps the system default).  Kernels are bit-identical, so
     it travels to worker processes as an explicit argument but never
     into the point's cache key.
+
+    ``cpi_stacks`` attaches per-thread cycle accounting; the stack
+    document returns on ``SimulationResult.cpi_stacks`` and — when
+    metrics are also collected — is mirrored into the metrics snapshot
+    as ``"cpi_stacks"`` so experiment aggregates carry it per point.
     """
     if feed is not None and metrics_window is None:
         raise ValueError("a live feed requires a metrics window")
@@ -333,6 +356,8 @@ def run_point(
             _build_trace(spec, tid) for tid, spec in enumerate(point.traces)
         ]
     system = _point_system(point, traces, kernel)
+    if cpi_stacks:
+        system.attach_cycle_accounting()
     metrics, attributor = _point_observers(system, point, metrics_window)
     on_window = None
     monitor = None
@@ -349,6 +374,9 @@ def run_point(
             snapshot = metrics.snapshot()
             snapshot["attribution"] = attributor.snapshot()
             snapshot["arbiter"] = point.config.arbiter
+            if system.cycle_accounting is not None:
+                snapshot["cpi_stacks"] = system.cycle_accounting.snapshot(
+                    cycle)
             feed.put(("window", index, worker, cycle, snapshot))
             if monitor is not None:
                 # Window boundaries close lazily on events; force the
@@ -367,6 +395,8 @@ def run_point(
         attributor.finish(system.cycle)
         result.metrics["attribution"] = attributor.snapshot()
         result.metrics["arbiter"] = point.config.arbiter
+        if result.cpi_stacks is not None:
+            result.metrics["cpi_stacks"] = result.cpi_stacks
     if monitor is not None:
         monitor.finish(system.cycle)
         for violation in monitor.violations[violations_sent:]:
@@ -393,7 +423,7 @@ class _Lane:
 
 
 def _run_lockstep(points, todo, lanes, kernel, metrics_window,
-                  finish, wall_us) -> None:
+                  finish, wall_us, cpi_stacks: bool = False) -> None:
     """Advance up to ``lanes`` points chunk-by-chunk in one process.
 
     Each lane replicates :func:`repro.system.simulator.run_simulation`'s
@@ -437,6 +467,10 @@ def _run_lockstep(points, todo, lanes, kernel, metrics_window,
             counter_snaps=[bank.counters.snapshot()
                            for bank in system.banks],
         )
+        if system.cycle_accounting is not None:
+            # Mirrors run_simulation's post-warmup rebase so a lane's
+            # stacks cover exactly the measurement interval.
+            system.cycle_accounting.rebase(system.cycle)
         if lane.metrics is not None:
             lane.metrics.sample(system)
 
@@ -457,6 +491,8 @@ def _run_lockstep(points, todo, lanes, kernel, metrics_window,
             _build_trace(spec, tid) for tid, spec in enumerate(point.traces)
         ]
         lane.system = _point_system(point, traces, kernel)
+        if cpi_stacks:
+            lane.system.attach_cycle_accounting()
         lane.metrics, lane.attributor = _point_observers(
             lane.system, point, metrics_window)
         lane.warm_left = point.warmup
@@ -501,6 +537,8 @@ def _run_lockstep(points, todo, lanes, kernel, metrics_window,
             lane.attributor.finish(system.cycle)
             result.metrics["attribution"] = lane.attributor.snapshot()
             result.metrics["arbiter"] = lane.point.config.arbiter
+            if result.cpi_stacks is not None:
+                result.metrics["cpi_stacks"] = result.cpi_stacks
         finish(lane.index, result, lane.started_us)
         load(slot)
 
@@ -590,7 +628,7 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
         results_r = fleet.run_points_resilient(
             points, _resilience, jobs=_jobs,
             metrics_window=_metrics_window, progress=_progress, live=_live,
-            kernel=_kernel,
+            kernel=_kernel, cpi_stacks=_cpi_stacks,
         )
         if _metrics_window is not None:
             metrics_log.extend(
@@ -605,10 +643,12 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
     metrics_window = _metrics_window
     live = _live
     base = live.begin_batch(len(points)) if live is not None else 0
+    cpi_stacks = _cpi_stacks
     # Metrics runs bypass the cache entirely: cached results carry no
     # snapshots, and polluting the cache with observed runs would make
-    # hit results depend on observability settings.
-    use_cache = _cache_enabled and metrics_window is None
+    # hit results depend on observability settings.  Cycle-accounted
+    # runs bypass it for the same reason (stacks are observability).
+    use_cache = _cache_enabled and metrics_window is None and not cpi_stacks
     batch_t0 = time.monotonic()
 
     def wall_us() -> int:
@@ -682,7 +722,8 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
                     pending[pool.submit(run_point, points[index],
                                         metrics_window, feed,
                                         base + index,
-                                        kernel=_kernel)] = (
+                                        kernel=_kernel,
+                                        cpi_stacks=cpi_stacks)] = (
                         index, wall_us()
                     )
                 while pending:
@@ -708,11 +749,12 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
                 manager.shutdown()
     elif _lanes > 1 and len(todo) > 1:
         _run_lockstep(points, todo, _lanes, _kernel, metrics_window,
-                      finish, wall_us)
+                      finish, wall_us, cpi_stacks=cpi_stacks)
     else:
         for index in todo:
             finish(index, run_point(points[index], metrics_window, live,
-                                    base + index, kernel=_kernel),
+                                    base + index, kernel=_kernel,
+                                    cpi_stacks=cpi_stacks),
                    wall_us())
     if metrics_window is not None:
         metrics_log.extend(

@@ -146,6 +146,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                         metavar="CYCLES",
                         help="metrics aggregation window in cycles "
                              "(default 2000)")
+    parser.add_argument("--cpi-stacks", action="store_true",
+                        help="attach per-thread cycle accounting to every "
+                             "point: CPI stacks with exact conservation "
+                             "ride the metrics aggregate, report cards "
+                             "gain a slowdown decomposition (implies "
+                             "metrics collection)")
+    parser.add_argument("--stacks", nargs="?", const=".", default=None,
+                        metavar="DIR",
+                        help="write <exp_id>.stacks.json (the per-point "
+                             "CPI-stack documents) into DIR (default: "
+                             "current directory; requires --cpi-stacks)")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="append one run-history ledger entry per "
+                             "experiment (manifest + headline metrics + "
+                             "CPI stacks) to the JSONL file at PATH; "
+                             "inspect with 'python -m repro history'")
     parser.add_argument("--serve", type=int, default=None, metavar="PORT",
                         help="serve live fleet telemetry over HTTP while "
                              "experiments run (/metrics /healthz /snapshot "
@@ -234,9 +250,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.telemetry import RingBufferSink, TelemetryBus
         telemetry = TelemetryBus()
         ring = telemetry.attach(RingBufferSink())
+    if args.stacks is not None and not args.cpi_stacks:
+        parser.error("--stacks requires --cpi-stacks")
     metrics_window = None
     if (args.metrics is not None or args.report is not None
-            or args.serve is not None):
+            or args.serve is not None or args.cpi_stacks
+            or args.history is not None):
+        # Cycle accounting and the history ledger ride the metrics
+        # aggregate, so either implies metrics collection.
         metrics_window = args.metrics_window
     live = server = None
     if args.serve is not None:
@@ -259,7 +280,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                        progress=progress, telemetry=telemetry,
                        metrics=metrics_window, live=live,
                        resilience=resilience, kernel=args.kernel,
-                       lanes=args.lanes)
+                       lanes=args.lanes, cpi_stacks=args.cpi_stacks)
 
     if args.list or not args.experiments:
         for exp_id in sorted(REGISTRY):
@@ -348,6 +369,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 path.write_text(json.dumps(result.metrics, indent=2) + "\n")
                 print(f"metrics -> {path} "
                       f"({result.metrics['points']} point snapshots)")
+            if args.stacks is not None and result.metrics is not None:
+                import json
+                docs = [
+                    snap["cpi_stacks"]
+                    for snap in result.metrics["per_point"]
+                    if snap.get("cpi_stacks")
+                ]
+                path = Path(args.stacks) / f"{exp_id}.stacks.json"
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(json.dumps(docs, indent=2) + "\n")
+                print(f"stacks -> {path} ({len(docs)} point stacks)")
+            if args.history is not None and result.metrics is not None:
+                from repro.telemetry.history import append_entry, build_entry
+                append_entry(args.history, build_entry(
+                    exp_id,
+                    manifest=(result.manifest.to_dict()
+                              if result.manifest is not None else None),
+                    metrics=result.metrics,
+                ))
+                print(f"history -> {args.history}")
             if args.report is not None and result.metrics is not None:
                 from repro.telemetry import (
                     build_report_card,
@@ -367,6 +408,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         result.metrics["per_point"])
                 ]
                 fleet = merge_report_cards(cards, label=exp_id)
+                from repro.telemetry.cycles import decompose_slowdown
+                decomposition = decompose_slowdown(
+                    result.metrics["per_point"])
+                if decomposition is not None:
+                    fleet["slowdown_decomposition"] = decomposition
                 print(render_fleet_card(fleet))
                 path = Path(args.report) / f"{exp_id}.report.json"
                 path.parent.mkdir(parents=True, exist_ok=True)

@@ -82,6 +82,13 @@ class MemoryController:
                 channel.trace_name = f"dram.ch{index}"
                 channel.trace_tid = index // self.config.channels_per_thread
 
+    def attach_acct(self, acct) -> None:
+        """Point every channel at the cycle-accounting sink (cycles.py)."""
+        for index, channel in enumerate(self.channels):
+            channel._acct = acct
+            if self._shared is None:
+                channel.acct_tid = index // self.config.channels_per_thread
+
     def _channel(self, thread_id: int) -> DRAMChannel:
         if not 0 <= thread_id < self.n_threads:
             raise ValueError(f"thread {thread_id} out of range")
@@ -103,15 +110,16 @@ class MemoryController:
         line: int,
         notify: Callable[[int], None],
         now: int,
+        tracked: bool = False,
     ) -> None:
         overhead = self.overhead_cycles
         delayed_notify = _DelayedNotify(notify, overhead)
         if self._shared is not None:
             self._shared.enqueue_read(thread_id, line, delayed_notify,
-                                      now + overhead)
+                                      now + overhead, tracked=tracked)
         else:
             self._channel(thread_id).enqueue_read(
-                line, delayed_notify, now + overhead
+                line, delayed_notify, now + overhead, tracked=tracked
             )
 
     def enqueue_write(self, thread_id: int, line: int, now: int) -> None:

@@ -27,6 +27,7 @@ class _PendingAccess:
     line: int
     notify: Optional[Callable[[int], None]]   # called with data-return cycle
     enqueued: int
+    tracked: bool = False  # census-tracked demand/prefetch read (cycles.py)
 
 
 class DRAMChannel:
@@ -46,6 +47,9 @@ class DRAMChannel:
         self._trace = None
         self.trace_name = "dram"
         self.trace_tid = -1
+        # Cycle accounting (private channel => one owning thread).
+        self._acct = None
+        self.acct_tid = -1
 
     # ------------------------------------------------------------------ #
     # Admission (capacity checks model the controller's buffers).
@@ -58,11 +62,12 @@ class DRAMChannel:
         return len(self._writes) < self.config.write_buffer
 
     def enqueue_read(
-        self, line: int, notify: Callable[[int], None], now: int
+        self, line: int, notify: Callable[[int], None], now: int,
+        tracked: bool = False,
     ) -> None:
         if not self.can_accept_read():
             raise RuntimeError("read enqueued on a full transaction buffer")
-        self._reads.append(_PendingAccess(line, notify, now))
+        self._reads.append(_PendingAccess(line, notify, now, tracked))
 
     def enqueue_write(self, line: int, now: int) -> None:
         if not self.can_accept_write():
@@ -113,6 +118,8 @@ class DRAMChannel:
                 dur=cfg.burst_cycles * d,
                 args={"line": access.line, "bank": bank},
             ))
+        if self._acct is not None and not is_write and access.tracked:
+            self._acct.dram_issued(self.acct_tid, now)
         if access.notify is not None:
             access.notify(data_end)
         return True

@@ -37,6 +37,7 @@ class _PendingAccess:
     notify: Optional[Callable[[int], None]]
     enqueued: int
     is_write: bool
+    tracked: bool = False  # census-tracked demand/prefetch read (cycles.py)
 
 
 class SharedDRAMChannel:
@@ -80,6 +81,8 @@ class SharedDRAMChannel:
         # Telemetry (repro.telemetry): None = disabled = free.
         self._trace = None
         self.trace_name = "dram.shared"
+        # Cycle accounting; shared channel charges access.thread_id.
+        self._acct = None
 
     # ------------------------------------------------------------------ #
     # Admission: the per-thread transaction/write buffers still apply.
@@ -97,20 +100,25 @@ class SharedDRAMChannel:
         return self._counts(thread_id)[1] < self.config.write_buffer
 
     def enqueue_read(
-        self, thread_id: int, line: int, notify: Callable[[int], None], now: int
+        self, thread_id: int, line: int, notify: Callable[[int], None],
+        now: int, tracked: bool = False,
     ) -> None:
-        self._admit(thread_id, line, notify, now, is_write=False)
+        self._admit(thread_id, line, notify, now, is_write=False,
+                    tracked=tracked)
 
     def enqueue_write(self, thread_id: int, line: int, now: int) -> None:
         self._admit(thread_id, line, None, now, is_write=True)
 
-    def _admit(self, thread_id, line, notify, now, is_write) -> None:
+    def _admit(self, thread_id, line, notify, now, is_write,
+               tracked=False) -> None:
         if not 0 <= thread_id < self.n_threads:
             raise ValueError(f"thread {thread_id} out of range")
         queue = self._queues[thread_id]
         if not queue and self._r_s[thread_id] <= now:
             self._r_s[thread_id] = float(now)  # Eq. 6 analogue
-        queue.append(_PendingAccess(thread_id, line, notify, now, is_write))
+        queue.append(
+            _PendingAccess(thread_id, line, notify, now, is_write, tracked)
+        )
 
     # ------------------------------------------------------------------ #
     # Scheduling.
@@ -203,6 +211,8 @@ class SharedDRAMChannel:
                 dur=cfg.burst_cycles * d,
                 args={"line": access.line},
             ))
+        if self._acct is not None and access.tracked and not access.is_write:
+            self._acct.dram_issued(access.thread_id, now)
         if access.notify is not None:
             access.notify(data_end)
         return True

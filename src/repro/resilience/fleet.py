@@ -98,7 +98,8 @@ class _JournalHook:
 
 
 def _fleet_worker(point, metrics_window, run_dir, key, index, attempt,
-                  every, chaos_config, kernel=None) -> None:
+                  every, chaos_config, kernel=None,
+                  cpi_stacks=False) -> None:
     """Child-process entry: run (or resume) one point, store its result.
 
     Exit code 0 with a readable sidecar is the only success signal the
@@ -106,7 +107,8 @@ def _fleet_worker(point, metrics_window, run_dir, key, index, attempt,
     """
     try:
         result = _run_or_resume(point, metrics_window, run_dir, key, index,
-                                attempt, every, chaos_config, kernel)
+                                attempt, every, chaos_config, kernel,
+                                cpi_stacks)
         store_result(result_path(run_dir, key), result)
     except Exception:
         traceback.print_exc()
@@ -114,7 +116,7 @@ def _fleet_worker(point, metrics_window, run_dir, key, index, attempt,
 
 
 def _run_or_resume(point, metrics_window, run_dir, key, index, attempt,
-                   every, chaos_config, kernel=None):
+                   every, chaos_config, kernel=None, cpi_stacks=False):
     journal = RunJournal(run_dir)
     chaos = None
     if chaos_config is not None and chaos_config.armed():
@@ -143,12 +145,18 @@ def _run_or_resume(point, metrics_window, run_dir, key, index, attempt,
                     result.metrics["attribution"] = (
                         resumed.attributor.snapshot())
                     result.metrics["arbiter"] = point.config.arbiter
+                    # The accounting state rode the checkpoint pickle
+                    # (it lives on the system), so a resumed run's
+                    # stacks equal an uninterrupted run's.
+                    if result.cpi_stacks is not None:
+                        result.metrics["cpi_stacks"] = result.cpi_stacks
                 return result
     from repro.experiments import parallel
     return parallel.run_point(point, metrics_window,
                               checkpoint=checkpointer,
                               resumable=bool(every),
-                              kernel=kernel)
+                              kernel=kernel,
+                              cpi_stacks=cpi_stacks)
 
 
 class _Slot:
@@ -172,6 +180,7 @@ def run_points_resilient(
     progress=None,
     live=None,
     kernel: Optional[str] = None,
+    cpi_stacks: bool = False,
 ) -> List:
     """Run a batch of points under the resilience policy.
 
@@ -255,7 +264,8 @@ def run_points_resilient(
                     target=_fleet_worker,
                     args=(points[ready.index], metrics_window, str(run_dir),
                           ready.key, ready.index, ready.attempt,
-                          resilience.checkpoint_every, chaos, kernel),
+                          resilience.checkpoint_every, chaos, kernel,
+                          cpi_stacks),
                 )
                 proc.start()
                 journal.point_started(ready.key, ready.index, ready.attempt,

@@ -81,6 +81,9 @@ class CMPSystem:
         # exist first); the request log is a bus subscriber.
         self.telemetry: Optional[TelemetryBus] = None
         self._request_log_sink: Optional[RequestLogSink] = None
+        # Cycle accounting (telemetry.cycles): attached on demand, None
+        # when disabled — same contract as the telemetry bus.
+        self.cycle_accounting = None
 
         self.registers = VPCControlRegisters(config.n_threads)
         self.registers.load_allocation(
@@ -212,6 +215,41 @@ class CMPSystem:
                 mshrs.trace_name = f"core{index}.mshrs"
         return bus
 
+    def attach_cycle_accounting(self, acct=None):
+        """Enable per-thread CPI-stack accounting: point every hooked
+        component (cores, MSHR files, banks, tag/data/bus arbiters, DRAM
+        channels) at one :class:`~repro.telemetry.cycles.CycleAccounting`
+        instance.  Same zero-overhead-when-disabled contract as
+        :meth:`attach_telemetry`.  The accounting state is part of the
+        system object graph, so checkpoints carry it for free.
+        """
+        from repro.telemetry.cycles import CycleAccounting
+        if self.smt_degree != 1:
+            raise ValueError(
+                "cycle accounting supports one hardware thread per core "
+                "(smt_degree == 1); SMT attribution is not modelled yet"
+            )
+        if acct is None:
+            acct = CycleAccounting(self.config.n_threads)
+        self.cycle_accounting = acct
+        for kind in ("tag", "data", "bus"):
+            for arbiter in self._vpc_arbiters[kind]:
+                arbiter._acct = acct
+                arbiter.acct_stage = kind
+        for bank in self.banks:
+            bank._acct = acct
+        for core in self.cores:
+            core._acct = acct
+            core.mshrs._acct = acct
+            core.mshrs.acct_tid = core.core_id
+        if self.l3 is None:
+            self.memory.attach_acct(acct)
+        else:
+            # Below-L2 time is one opaque dram_queue bucket when an L3
+            # sits in front of memory (the L3 port is not census-staged).
+            acct.dram_service_tracked = False
+        return acct
+
     def _now(self) -> int:
         """Clock callable for components whose interfaces carry no
         timestamp (replacement policies)."""
@@ -286,6 +324,8 @@ class CMPSystem:
                 id=request.req_id,
                 args={"request": request},
             ))
+        if self.cycle_accounting is not None and request.is_read:
+            self.cycle_accounting.responded(request.thread_id, now)
         self.crossbar.send_response(request.thread_id, request, now)
 
     # ------------------------------------------------------------------ #

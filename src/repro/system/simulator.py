@@ -37,6 +37,9 @@ class SimulationResult:
     # passed to run_simulation; None otherwise, so results from
     # metrics-free runs compare equal regardless of observability.
     metrics: Optional[Dict] = None
+    # Per-thread CPI-stack document (repro.telemetry.cycles) when cycle
+    # accounting was attached to the system; None otherwise.
+    cpi_stacks: Optional[Dict] = None
 
     @property
     def write_fraction(self) -> float:
@@ -121,6 +124,10 @@ def run_simulation(
     if on_window is not None and metrics is None:
         raise ValueError("on_window requires a metrics collector")
     system.run(warmup)
+    if system.cycle_accounting is not None:
+        # Stacks cover exactly the measurement interval, like every
+        # other reported statistic.
+        system.cycle_accounting.rebase(system.cycle)
 
     n_threads = system.config.n_threads
     state = MeasureState(
@@ -171,6 +178,9 @@ def continue_measurement(
                 state.since_checkpoint += chunk
                 if metrics is not None:
                     metrics.sample(system)
+                    acct = system.cycle_accounting
+                    if acct is not None and system.telemetry is not None:
+                        acct.emit_counters(system.telemetry, system.cycle)
                     if on_window is not None:
                         on_window(system.cycle)
                 if checkpoint is not None:
@@ -213,6 +223,10 @@ def _finalize(system: CMPSystem, state: MeasureState,
         ipcs=ipcs,
         instructions=instructions,
         metrics=metrics.snapshot() if metrics is not None else None,
+        cpi_stacks=(
+            system.cycle_accounting.snapshot(system.cycle)
+            if system.cycle_accounting is not None else None
+        ),
         utilizations=avg_utils,
         bank_utilizations=bank_utils,
         l2_reads=total("read_requests"),

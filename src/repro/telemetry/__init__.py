@@ -17,9 +17,17 @@ from .bus import (
     TraceSink,
 )
 from .attribution import InterferenceAttributor, merge_attribution
+from .cycles import (
+    BUCKETS,
+    CycleAccounting,
+    decompose_slowdown,
+    render_decomposition,
+    verify_stack,
+)
 from .events import (
     CAT_ARBITER,
     CAT_CACHE,
+    CAT_CPI,
     CAT_DRAM,
     CAT_KERNEL,
     CAT_MSHR,
@@ -36,6 +44,7 @@ from .events import (
     TraceEvent,
 )
 from .histograms import Histogram, LatencyHistogramSink
+from .history import append_entry, build_entry, diff_entries, read_history
 from .manifest import RunManifest, config_hash, git_sha
 from .metrics import MetricsCollector, merge_snapshots, to_prometheus
 from .perfetto import chrome_trace, write_chrome_trace
@@ -56,6 +65,10 @@ __all__ = [
     "PH_BEGIN", "PH_END", "PH_COMPLETE", "PH_INSTANT", "PH_COUNTER",
     "CAT_REQUEST", "CAT_RESOURCE", "CAT_ARBITER", "CAT_KERNEL",
     "CAT_MSHR", "CAT_SGB", "CAT_DRAM", "CAT_XBAR", "CAT_RUN", "CAT_CACHE",
+    "CAT_CPI",
+    "BUCKETS", "CycleAccounting", "verify_stack",
+    "decompose_slowdown", "render_decomposition",
+    "append_entry", "build_entry", "diff_entries", "read_history",
     "Histogram", "LatencyHistogramSink",
     "RunManifest", "config_hash", "git_sha",
     "MetricsCollector", "merge_snapshots", "to_prometheus",

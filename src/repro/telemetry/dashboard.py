@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
 import time
 import urllib.error
@@ -110,8 +111,80 @@ def _utilization_rows(point: Dict, limit: int = 8) -> List[str]:
     return rows
 
 
-def render(snapshot: Dict, health: Dict) -> str:
-    """One dashboard frame from the server's two JSON documents."""
+#: One glyph per CPI-stack bucket for the stacked per-thread bar.
+_STACK_GLYPHS = {
+    "base": "#", "idle": ".", "store_buffer": "s", "mshr": "m",
+    "l1_transit": "x", "bank_conflict": "c", "l2_tag_queue": "t",
+    "l2_service": "L", "l2_data_queue": "d", "l2_bus_queue": "u",
+    "dram_queue": "q", "dram_service": "D",
+}
+
+
+def _stack_bar(row: List[int], total: int, width: int) -> str:
+    """A ``width``-character stacked bar, largest-remainder rounded so
+    the glyph counts always fill the bar exactly."""
+    if total <= 0 or width <= 0:
+        return ""
+    quotas = [value * width / total for value in row]
+    cells = [int(quota) for quota in quotas]
+    spare = width - sum(cells)
+    order = sorted(range(len(row)),
+                   key=lambda i: quotas[i] - cells[i], reverse=True)
+    for i in order:
+        if spare <= 0:
+            break
+        if row[i]:
+            cells[i] += 1
+            spare -= 1
+    glyphs = list(_STACK_GLYPHS.values())
+    return "".join(
+        (glyphs[i] if i < len(glyphs) else "?") * count
+        for i, count in enumerate(cells)
+    )
+
+
+def _stack_rows(point: Dict, width: Optional[int] = None) -> List[str]:
+    """Per-thread stacked CPI bars from an embedded cpi_stacks document."""
+    stacks = point.get("cpi_stacks")
+    if not stacks:
+        return []
+    buckets = stacks.get("buckets", ())
+    threads = stacks.get("threads", ())
+    measured = stacks.get("measured_cycles", 0)
+    instructions = point.get("instructions") or []
+    bar_width = 40 if width is None else max(10, min(40, width - 26))
+    used = [False] * len(buckets)
+    for row in threads:
+        for i, value in enumerate(row):
+            used[i] = used[i] or bool(value)
+    legend = " ".join(
+        f"{_STACK_GLYPHS.get(name, '?')}={name}"
+        for i, name in enumerate(buckets) if used[i]
+    )
+    rows = [f"  cpi stack ({measured} cycles/thread)  {legend}"]
+    for tid, row in enumerate(threads):
+        insts = instructions[tid] if tid < len(instructions) else 0
+        cpi = measured / insts if insts else float("inf")
+        bar = _stack_bar(list(row), measured, bar_width)
+        rows.append(f"  t{tid:<3} |{bar:<{bar_width}}| cpi {cpi:>8.3f}")
+    return rows
+
+
+def _clip(lines: List[str], width: Optional[int]) -> List[str]:
+    """Hard-wrap protection: a frame line longer than the terminal would
+    wrap and shear every subsequent row, so clip instead."""
+    if width is None:
+        return lines
+    return [line if len(line) <= width else line[:width] for line in lines]
+
+
+def render(snapshot: Dict, health: Dict,
+           width: Optional[int] = None) -> str:
+    """One dashboard frame from the server's two JSON documents.
+
+    ``width`` (the terminal's column count) clips every line so narrow
+    terminals never wrap mid-frame; ``None`` renders unclipped.
+    """
     points = _per_point(snapshot or {})
     status = health.get("status", "?")
     done = health.get("points", {}).get("done", 0)
@@ -132,12 +205,16 @@ def render(snapshot: Dict, health: Dict) -> str:
     index, point = _active_point(points)
     if point is None:
         lines.append("waiting for the first window flush...")
-        return "\n".join(lines) + "\n"
+        return "\n".join(_clip(lines, width)) + "\n"
     lines.append(f"point {index} (threads: {point.get('n_threads')}, "
                  f"arbiter: {point.get('arbiter', '?')})")
     lines.extend(_thread_rows(point))
     lines.append("")
     lines.extend(_utilization_rows(point))
+    stacks = _stack_rows(point, width)
+    if stacks:
+        lines.append("")
+        lines.extend(stacks)
     pair = top_interference_pair(points)
     lines.append("")
     if pair is not None:
@@ -146,7 +223,7 @@ def render(snapshot: Dict, health: Dict) -> str:
                      f"t{aggressor} ({cycles} cycles)")
     else:
         lines.append("top interference: (none recorded)")
-    return "\n".join(lines) + "\n"
+    return "\n".join(_clip(lines, width)) + "\n"
 
 
 def render_log_line(snapshot: Dict, health: Dict) -> str:
@@ -207,7 +284,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 1
         if tty:
-            sys.stdout.write(CLEAR + render(snapshot, health))
+            columns = shutil.get_terminal_size().columns
+            sys.stdout.write(CLEAR + render(snapshot, health,
+                                            width=columns))
         else:
             sys.stdout.write(render_log_line(snapshot, health) + "\n")
         sys.stdout.flush()

@@ -35,6 +35,7 @@ CAT_DRAM = "dram"            # DRAM data-bus occupancy
 CAT_XBAR = "crossbar"        # crossbar transport
 CAT_RUN = "run"              # experiment-runner orchestration (wall clock)
 CAT_CACHE = "cache"          # capacity-manager victimizations + occupancy
+CAT_CPI = "cpi"              # per-thread CPI-stack counter tracks
 
 
 @dataclass

@@ -1,0 +1,261 @@
+"""Append-only run-history ledger: every observed run, one JSON line.
+
+``repro history`` answers "what did this machine run, and how did it
+go?" without re-opening per-run artifact files: each completed
+experiment appends one self-contained entry — provenance manifest,
+headline metrics (IPCs, fairness, measured cycles), and the per-point
+CPI-stack documents — to a JSONL ledger (``--history PATH`` on the
+experiment runner; default ``repro_history.jsonl``).  ``repro diff A B``
+compares two entries bucket-by-bucket, the cycle-accounting view of
+"what changed between these runs".
+
+The ledger is append-only and crash-tolerant by construction: entries
+are single ``write()`` calls of one line each, and readers skip
+unparseable lines (a torn tail write) instead of failing.  Pure stdlib.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry.cycles import BUCKETS
+
+HISTORY_SCHEMA = "repro.run-history/1"
+
+
+# ---------------------------------------------------------------------- #
+# Writing.
+# ---------------------------------------------------------------------- #
+
+def build_entry(
+    exp_id: str,
+    manifest: Optional[Dict] = None,
+    metrics: Optional[Dict] = None,
+    headline: Optional[Dict] = None,
+) -> Dict:
+    """One ledger entry: manifest + headline numbers + CPI stacks.
+
+    ``metrics`` is the experiment's merged aggregate
+    (``repro.metrics-aggregate/1``); only the headline slice of each
+    point (IPCs, fairness, arbiter, stacks) is kept — the ledger is a
+    run log, not an artifact store.
+    """
+    entry: Dict = {"schema": HISTORY_SCHEMA, "exp_id": exp_id}
+    if manifest:
+        entry["manifest"] = manifest
+    if headline:
+        entry["headline"] = headline
+    if metrics:
+        entry["points"] = metrics.get("points", 0)
+        entry["totals"] = metrics.get("totals", {})
+        per_point = []
+        for snap in metrics.get("per_point", ()):
+            kept = {
+                "n_threads": snap.get("n_threads"),
+                "arbiter": snap.get("arbiter"),
+                "measured_cycles": snap.get("measured_cycles"),
+                "instructions": snap.get("instructions"),
+                "ipcs": snap.get("ipcs"),
+                "fairness": snap.get("fairness"),
+            }
+            if snap.get("cpi_stacks"):
+                kept["cpi_stacks"] = snap["cpi_stacks"]
+            per_point.append(kept)
+        entry["per_point"] = per_point
+    return entry
+
+
+def append_entry(path: str, entry: Dict) -> None:
+    """Append one entry as a single line (crash leaves prior lines whole)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True, default=repr) + "\n")
+
+
+# ---------------------------------------------------------------------- #
+# Reading.
+# ---------------------------------------------------------------------- #
+
+def read_history(path: str) -> List[Dict]:
+    """Every parseable entry, oldest first; torn/corrupt lines skipped."""
+    entries: List[Dict] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn tail write; the ledger stays usable
+                if isinstance(entry, dict):
+                    entries.append(entry)
+    except FileNotFoundError:
+        return []
+    return entries
+
+
+def _entry_stacks(entry: Dict) -> Dict[str, List[int]]:
+    """Summed bucket cycles per arbiter group across an entry's points."""
+    groups: Dict[str, List[int]] = {}
+    for snap in entry.get("per_point", ()):
+        stacks = snap.get("cpi_stacks")
+        if not stacks:
+            continue
+        name = str(snap.get("arbiter") or "?")
+        if snap.get("n_threads") == 1:
+            name = "solo"
+        buckets = stacks.get("buckets", BUCKETS)
+        row = groups.setdefault(name, [0] * len(BUCKETS))
+        for thread in stacks.get("threads", ()):
+            for i, bucket in enumerate(buckets):
+                if bucket in BUCKETS:
+                    row[BUCKETS.index(bucket)] += thread[i]
+    return groups
+
+
+def render_history(entries: Sequence[Dict], last: int = 20) -> List[str]:
+    """The ``repro history`` table: newest runs last, one line each."""
+    if not entries:
+        return ["(history is empty)"]
+    shown = list(entries)[-last:]
+    base = len(entries) - len(shown)
+    rows = [["#", "exp", "points", "instructions", "cycles", "stacks",
+             "kernel"]]
+    for offset, entry in enumerate(shown):
+        totals = entry.get("totals", {})
+        manifest = entry.get("manifest") or {}
+        stacked = sum(1 for snap in entry.get("per_point", ())
+                      if snap.get("cpi_stacks"))
+        rows.append([
+            str(base + offset),
+            str(entry.get("exp_id", "?")),
+            str(entry.get("points", 0)),
+            str(totals.get("instructions", 0)),
+            str(totals.get("measured_cycles", 0)),
+            str(stacked),
+            str(manifest.get("kernel", "?")),
+        ])
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(len(rows[0]))]
+    return ["  ".join(cell.ljust(width)
+                      for cell, width in zip(row, widths)).rstrip()
+            for row in rows]
+
+
+def diff_entries(a: Dict, b: Dict) -> Dict:
+    """Bucket-by-bucket comparison of two ledger entries' CPI stacks.
+
+    Groups each entry's stacks by arbiter (solo points apart) and, for
+    every group present in both, reports per-bucket cycle deltas —
+    "where did the cycles go between run A and run B?".
+    """
+    stacks_a = _entry_stacks(a)
+    stacks_b = _entry_stacks(b)
+    groups = sorted(set(stacks_a) & set(stacks_b))
+    return {
+        "schema": "repro.run-history-diff/1",
+        "a": a.get("exp_id", "?"),
+        "b": b.get("exp_id", "?"),
+        "buckets": list(BUCKETS),
+        "groups": {
+            name: {
+                "a": stacks_a[name],
+                "b": stacks_b[name],
+                "delta": [vb - va for va, vb
+                          in zip(stacks_a[name], stacks_b[name])],
+            }
+            for name in groups
+        },
+    }
+
+
+def render_diff(diff: Dict) -> List[str]:
+    """Terminal table for ``repro diff``: one bucket per row."""
+    lines = [f"cycle-stack diff: {diff.get('a')} -> {diff.get('b')}"]
+    groups = diff.get("groups", {})
+    if not groups:
+        lines.append("  (no comparable CPI stacks in both entries; run "
+                     "both with --cpi-stacks)")
+        return lines
+    buckets = diff.get("buckets", BUCKETS)
+    for name, data in groups.items():
+        lines.append(f"  [{name}]")
+        rows = [["bucket", "a(cyc)", "b(cyc)", "delta"]]
+        for i, bucket in enumerate(buckets):
+            va, vb = data["a"][i], data["b"][i]
+            if not va and not vb:
+                continue
+            rows.append([bucket, str(va), str(vb), f"{vb - va:+d}"])
+        widths = [max(len(row[col]) for row in rows)
+                  for col in range(4)]
+        lines.extend(
+            "    " + "  ".join(cell.rjust(width)
+                               for cell, width in zip(row, widths))
+            for row in rows
+        )
+    return lines
+
+
+# ---------------------------------------------------------------------- #
+# CLI (``repro history`` / ``repro diff``).
+# ---------------------------------------------------------------------- #
+
+DEFAULT_LEDGER = "repro_history.jsonl"
+
+
+def _print_lines(lines) -> int:
+    """Print a rendered table, treating a closed pipe (``| head``) as a
+    normal early exit rather than a traceback."""
+    try:
+        for line in lines:
+            print(line)
+        return 0
+    except BrokenPipeError:
+        import os
+        import sys
+        # Swallow the interpreter-shutdown flush of the broken stdout.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def main_history(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro history",
+        description="List the run-history ledger.",
+    )
+    parser.add_argument("--ledger", default=DEFAULT_LEDGER,
+                        help=f"ledger path (default {DEFAULT_LEDGER})")
+    parser.add_argument("--last", type=int, default=20,
+                        help="show only the most recent N entries")
+    args = parser.parse_args(argv)
+    entries = read_history(args.ledger)
+    return _print_lines(render_history(entries, last=args.last))
+
+
+def main_diff(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro diff",
+        description="Compare two ledger entries' CPI stacks "
+                    "bucket-by-bucket.",
+    )
+    parser.add_argument("a", type=int, help="first entry index (repro history)")
+    parser.add_argument("b", type=int, help="second entry index")
+    parser.add_argument("--ledger", default=DEFAULT_LEDGER,
+                        help=f"ledger path (default {DEFAULT_LEDGER})")
+    args = parser.parse_args(argv)
+    entries = read_history(args.ledger)
+    for index in (args.a, args.b):
+        if not 0 <= index < len(entries):
+            print(f"no entry {index} in {args.ledger} "
+                  f"({len(entries)} entries)")
+            return 2
+    return _print_lines(
+        render_diff(diff_entries(entries[args.a], entries[args.b]))
+    )

@@ -438,6 +438,16 @@ def _expose_point(snapshot: Dict, base: Dict, fam: _Families) -> None:
             fam.add("repro_thread_slowdown", "gauge",
                     "Solo-run baseline IPC divided by observed IPC",
                     labelled(thread=tid), value)
+    stacks = snapshot.get("cpi_stacks")
+    if stacks:
+        buckets = stacks.get("buckets", ())
+        for tid, row in enumerate(stacks.get("threads", ())):
+            for bucket, value in zip(buckets, row):
+                fam.add("repro_cpi_stack_cycles", "counter",
+                        "Measurement-interval cycles attributed to each "
+                        "CPI-stack bucket per thread (buckets sum exactly "
+                        "to measured cycles)",
+                        labelled(thread=tid, bucket=bucket), value)
     attribution = snapshot.get("attribution")
     if attribution:
         for resource, data in sorted(attribution.get("resources", {}).items()):

@@ -50,6 +50,8 @@ def build_report_card(
         card["measured_cycles"] = metrics.get("measured_cycles", 0)
         card["fairness"] = metrics.get("fairness", {})
         card["metrics_window"] = metrics.get("window")
+        if metrics.get("cpi_stacks"):
+            card["cpi_stacks"] = metrics["cpi_stacks"]
     received = attribution.get("interference_received") if attribution else None
     caused = attribution.get("interference_caused") if attribution else None
     per_window = conformance.get("per_thread") if conformance else None
@@ -180,6 +182,25 @@ def _heat_table(resources: Dict, n_threads: int) -> List[str]:
     return lines
 
 
+def _stack_lines(stacks: Dict) -> List[str]:
+    """Per-thread CPI-stack summary: the dominant buckets, cycles each.
+
+    Every cycle is in exactly one bucket (the conservation invariant),
+    so the listed bucket cycles of one thread sum to its measured
+    cycles; buckets that stayed at zero are elided.
+    """
+    buckets = stacks.get("buckets", ())
+    lines = ["cycle accounting (cycles per bucket; buckets sum to "
+             f"{stacks.get('measured_cycles', 0)} measured cycles):"]
+    for tid, row in enumerate(stacks.get("threads", ())):
+        parts = [f"{name} {value}"
+                 for name, value in sorted(zip(buckets, row),
+                                           key=lambda kv: -kv[1])
+                 if value]
+        lines.append(f"  t{tid}: " + (", ".join(parts) if parts else "(idle)"))
+    return lines
+
+
 def render_report_card(card: Dict) -> str:
     """Terminal rendering of one run's report card."""
     title = card.get("run") or "simulation"
@@ -210,6 +231,10 @@ def render_report_card(card: Dict) -> str:
         )
     lines.append("")
     lines.extend(_thread_table(card))
+    stacks = card.get("cpi_stacks")
+    if stacks:
+        lines.append("")
+        lines.extend(_stack_lines(stacks))
     attribution = card.get("attribution")
     if attribution:
         lines.append("")
@@ -240,6 +265,11 @@ def render_fleet_card(fleet: Dict) -> str:
         f"guarantee audit: {status} — {fleet.get('violations', 0)} "
         f"violations total"
     )
+    decomposition = fleet.get("slowdown_decomposition")
+    if decomposition:
+        from repro.telemetry.cycles import render_decomposition
+        lines.append("")
+        lines.extend(render_decomposition(decomposition))
     return "\n".join(lines)
 
 

@@ -11,6 +11,10 @@ Three validators, one CLI:
 * :func:`validate_metrics_json` — ``repro.metrics/1`` snapshots from
   ``--metrics``: schema tag, series shapes, and the attribution
   conservation identity when an attribution section is present.
+  Embedded or standalone ``repro.cpi-stack/1`` documents (from
+  ``--cpi-stacks``) are re-checked offline against the cycle-accounting
+  conservation invariant — per-thread bucket sums must equal the
+  measured cycles exactly, from the serialized numbers alone.
 * :func:`validate_prometheus` — Prometheus text exposition from
   ``--prometheus``: sample-line grammar, numeric values, and that every
   sampled family was declared with ``# TYPE`` first.
@@ -106,6 +110,7 @@ def validate_chrome_trace(payload) -> List[str]:
 
 _METRICS_SCHEMAS = ("repro.metrics/1",)
 _AGGREGATE_SCHEMAS = ("repro.metrics-aggregate/1",)
+_STACK_SCHEMAS = ("repro.cpi-stack/1",)
 
 
 def _check_thread_rows(errors, series, key, n_threads, windows, where):
@@ -203,6 +208,16 @@ def _validate_metrics_point(payload, errors, where) -> None:
     attribution = payload.get("attribution")
     if attribution is not None:
         _check_attribution(errors, attribution, f"{where}.attribution")
+    stacks = payload.get("cpi_stacks")
+    if stacks is not None:
+        from repro.telemetry.cycles import verify_stack
+        errors.extend(f"{where}.cpi_stacks: {problem}"
+                      for problem in verify_stack(stacks))
+        if stacks.get("n_threads") != n_threads:
+            errors.append(
+                f"{where}.cpi_stacks: n_threads "
+                f"{stacks.get('n_threads')!r} != snapshot's {n_threads}"
+            )
 
 
 def validate_metrics_json(payload) -> List[str]:
@@ -237,6 +252,9 @@ def validate_metrics_json(payload) -> List[str]:
         if attribution is not None:
             _check_attribution(errors, attribution)
         return errors
+    if schema in _STACK_SCHEMAS:
+        from repro.telemetry.cycles import verify_stack
+        return verify_stack(payload)
     if schema not in _METRICS_SCHEMAS:
         return [f"unknown metrics schema {schema!r}"]
     _validate_metrics_point(payload, errors, "snapshot")
@@ -305,7 +323,7 @@ def validate_prometheus(text: str) -> List[str]:
 
 
 _USAGE = ("usage: python -m repro.telemetry.validate "
-          "[--trace|--metrics|--prometheus] <artifact>")
+          "[--trace|--metrics|--stacks|--prometheus] <artifact>")
 
 
 def _detect_kind(path: str, payload) -> str:
@@ -313,8 +331,15 @@ def _detect_kind(path: str, payload) -> str:
         return "prometheus"
     if isinstance(payload, dict):
         schema = payload.get("schema")
+        if schema in _STACK_SCHEMAS:
+            return "stacks"
         if isinstance(schema, str) and schema.startswith("repro."):
             return "metrics"
+    if (isinstance(payload, list) and payload
+            and isinstance(payload[0], dict)
+            and payload[0].get("schema") in _STACK_SCHEMAS):
+        # An --stacks artifact: a list of per-point stack documents.
+        return "stacks"
     return "trace"
 
 
@@ -322,7 +347,7 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     kind = None
     flags = {"--trace": "trace", "--metrics": "metrics",
-             "--prometheus": "prometheus"}
+             "--stacks": "stacks", "--prometheus": "prometheus"}
     paths = []
     for token in argv:
         if token in flags:
@@ -360,6 +385,26 @@ def main(argv=None) -> int:
         count = sum(1 for line in text.splitlines()
                     if line.strip() and not line.startswith("#"))
         noun = "exposition samples"
+    elif kind == "stacks":
+        from repro.telemetry.cycles import verify_stack
+        if isinstance(payload, dict):
+            errors = verify_stack(payload)
+            count = payload.get("n_threads", 0)
+        elif isinstance(payload, list):
+            errors = []
+            count = 0
+            for index, doc in enumerate(payload):
+                if not isinstance(doc, dict):
+                    errors.append(f"stacks[{index}]: not an object")
+                    continue
+                errors.extend(f"stacks[{index}]: {problem}"
+                              for problem in verify_stack(doc))
+                count += doc.get("n_threads", 0)
+        else:
+            errors = ["cycle-stack artifact is neither an object nor a "
+                      "list of objects"]
+            count = 0
+        noun = "thread stacks (conservation re-checked)"
     elif kind == "metrics":
         errors = validate_metrics_json(payload)
         count = payload.get("points", 1) if isinstance(payload, dict) else 0

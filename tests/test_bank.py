@@ -26,7 +26,7 @@ class StubMemory:
     def can_accept_write(self, thread_id):
         return self.accept
 
-    def enqueue_read(self, thread_id, line, notify, now):
+    def enqueue_read(self, thread_id, line, notify, now, tracked=False):
         self.reads.append((thread_id, line, now))
         notify(now + self.latency)
 

@@ -44,7 +44,7 @@ class FlakyMemory:
     def can_accept_write(self, thread_id):
         return self._open()
 
-    def enqueue_read(self, thread_id, line, notify, now):
+    def enqueue_read(self, thread_id, line, notify, now, tracked=False):
         notify(now + self.latency)
 
     def enqueue_write(self, thread_id, line, now):

@@ -19,7 +19,7 @@ class StubMemory:
     def can_accept_write(self, thread_id):
         return True
 
-    def enqueue_read(self, thread_id, line, notify, now):
+    def enqueue_read(self, thread_id, line, notify, now, tracked=False):
         self.reads.append(line)
         notify(now + 40)
 
