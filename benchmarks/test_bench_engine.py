@@ -302,6 +302,62 @@ def test_resilience_disabled_overhead_under_two_percent():
     )
 
 
+def _spans_alerts_disabled_step(system, cycles, span_ctx=None, engine=None):
+    """The exact control flow the host-span tracer and alert engine add
+    to the hot drivers when both are *off*: None-guards around an
+    unchanged ``run()`` (see run_point's worker-span wrap and
+    LiveRun._publish's engine tap).  Spans wrap whole points and alerts
+    evaluate per published event, so the per-cycle path is untouched —
+    anything heavier than these tests would break the disabled-path
+    contract."""
+    worker_tracer = None
+    if span_ctx is not None:
+        raise ValueError("benchmark covers the disabled path only")
+    if engine is not None:
+        raise ValueError("benchmark covers the disabled path only")
+    system.run(cycles)
+    if worker_tracer is not None:
+        raise ValueError("unreachable on the disabled path")
+
+
+def test_spans_alerts_disabled_overhead_under_two_percent():
+    """The host-span/alert analog of the guards above (ISSUE 8,
+    docs/ARCHITECTURE.md "Fleet observability"): with no ``--spans``
+    tracer and no ``--alerts`` engine configured, the engine must run
+    within 2% of a bare ``run()`` loop.  Same interleaved
+    min-of-rounds harness; this trips if span creation or alert
+    evaluation ever grows eager work (id allocation, rule scans, clock
+    reads) on the disabled path instead of staying behind its
+    ``is not None`` guards."""
+    def timed_bare(system, cycles=2_000):
+        start = time.perf_counter()
+        system.run(cycles)
+        return time.perf_counter() - start
+
+    def timed_disabled(system, cycles=2_000):
+        start = time.perf_counter()
+        _spans_alerts_disabled_step(system, cycles)
+        return time.perf_counter() - start
+
+    baseline_system = _fresh_system()
+    disabled_system = _fresh_system()
+    ratios = []
+    for _ in range(6):
+        baseline_total = disabled_total = 0.0
+        for chunk_index in range(10):
+            if chunk_index % 2 == 0:
+                baseline_total += timed_bare(baseline_system)
+                disabled_total += timed_disabled(disabled_system)
+            else:
+                disabled_total += timed_disabled(disabled_system)
+                baseline_total += timed_bare(baseline_system)
+        ratios.append(disabled_total / baseline_total)
+    assert min(ratios) <= 1.02, (
+        f"spans/alerts-disabled engine is >2% slower than the bare run "
+        f"loop in every round: ratios {[f'{r:.3f}' for r in ratios]}"
+    )
+
+
 def test_bench_traced_simulation(benchmark):
     """The same 2-thread CMP with full tracing enabled into a ring
     buffer — the cost of turning observability *on* (not bounded; the

@@ -1,12 +1,18 @@
 """Entry point for ``python -m repro``.
 
 ``python -m repro top ...`` dispatches to the live dashboard
-(:mod:`repro.telemetry.dashboard`), ``history``/``diff`` to the
+(:mod:`repro.telemetry.dashboard`), ``fleet`` to the federated metrics
+plane (:mod:`repro.telemetry.federation`), ``history``/``diff`` to the
 run-history ledger (:mod:`repro.telemetry.history`); anything else is a
 simulation run (:mod:`repro.cli`).
 """
 
 import sys
+
+if len(sys.argv) > 1 and sys.argv[1] == "fleet":
+    from repro.telemetry.federation import main as fleet_main
+
+    raise SystemExit(fleet_main(sys.argv[2:]))
 
 if len(sys.argv) > 1 and sys.argv[1] == "top":
     from repro.telemetry.dashboard import main as top_main

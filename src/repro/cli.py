@@ -16,6 +16,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import sys
 import time
 from typing import Iterator, List, Optional
 
@@ -65,9 +66,11 @@ def parse_shares(text: Optional[str], n_threads: int) -> List[float]:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.telemetry.options import telemetry_options
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Simulate workloads on the VPC-enabled CMP.",
+        parents=[telemetry_options()],
     )
     parser.add_argument("workloads", nargs="*",
                         help="one workload per thread (see module "
@@ -81,18 +84,6 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--capacity-shares", default=None,
                         help="comma-separated way shares (default equal)")
     parser.add_argument("--banks", type=int, default=2)
-    parser.add_argument("--kernel", default=None,
-                        choices=("cycle", "event", "batch"),
-                        help="simulation kernel (default: event; all three "
-                             "produce bit-identical results — see "
-                             "tests/test_kernel_equivalence.py).  With "
-                             "--resume-checkpoint the snapshot's kernel is "
-                             "kept unless this flag overrides it, which is "
-                             "safe for the same reason")
-    parser.add_argument("--profile", default=None, metavar="PATH",
-                        help="profile the simulation with cProfile: dump "
-                             "pstats to PATH and print the top-20 "
-                             "cumulative functions")
     parser.add_argument("--warmup", type=int, default=30_000)
     parser.add_argument("--cycles", type=int, default=30_000,
                         help="measurement cycles after warmup")
@@ -102,10 +93,6 @@ def build_parser() -> argparse.ArgumentParser:
                         help="VPC arbiter fairness policy (WFQ or SFQ)")
     parser.add_argument("--prefetch", action="store_true",
                         help="enable the next-line prefetcher")
-    parser.add_argument("--trace", default=None, metavar="PATH",
-                        help="capture a telemetry trace: .jsonl streams raw "
-                             "events; anything else writes Chrome/Perfetto "
-                             "trace_event JSON (open in ui.perfetto.dev)")
     parser.add_argument("--histograms", action="store_true",
                         help="print per-thread/per-stage latency histograms "
                              "(implied tracing, no file needed)")
@@ -126,29 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "conformance, interference attribution); write "
                              "its JSON to PATH when given.  Target IPCs add "
                              "one private-machine run per thread")
-    parser.add_argument("--metrics-window", type=int, default=2_000,
-                        metavar="CYCLES",
-                        help="metrics/QoS-audit window in cycles "
-                             "(default 2000)")
     parser.add_argument("--cpi-stacks", nargs="?", const="-", default=None,
                         metavar="PATH",
                         help="attach per-thread cycle accounting (every "
                              "measured cycle lands in exactly one CPI-stack "
                              "bucket); print the stacks, or write the "
                              "repro.cpi-stack/1 JSON to PATH when given")
-    parser.add_argument("--serve", type=int, default=None, metavar="PORT",
-                        help="serve live telemetry over HTTP while the "
-                             "simulation runs (/metrics /healthz /snapshot "
-                             "/events; 0 = auto-assign a port, printed; "
-                             "implies metrics collection)")
-    parser.add_argument("--serve-linger", type=float, default=0.0,
-                        metavar="SECONDS",
-                        help="keep the telemetry server up this long after "
-                             "the run completes (scrape/smoke-test window)")
-    parser.add_argument("--stale-after", type=float, default=30.0,
-                        metavar="SECONDS",
-                        help="heartbeat age after which /healthz reports "
-                             "the run degraded (default 30)")
     parser.add_argument("--checkpoint", default=None, metavar="PATH",
                         help="write a resumable checkpoint of the full "
                              "simulation to PATH every --checkpoint-every "
@@ -194,11 +164,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.resume_checkpoint and (
             args.report is not None or args.serve is not None
             or args.trace or args.histograms
-            or args.cpi_stacks is not None):
+            or args.cpi_stacks is not None
+            or args.spans is not None or args.alerts):
         parser.error("--resume-checkpoint continues the original run's "
                      "observability; --report/--serve/--trace/--histograms/"
-                     "--cpi-stacks cannot be added mid-run (a checkpointed "
-                     "accounting attachment resumes automatically)")
+                     "--cpi-stacks/--spans/--alerts cannot be added mid-run "
+                     "(a checkpointed accounting attachment resumes "
+                     "automatically)")
+    if args.alerts_out and not args.alerts:
+        parser.error("--alerts-out requires --alerts")
     resumed = None
     if args.resume_checkpoint:
         from repro.resilience import open_checkpoint
@@ -262,34 +236,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         ]
 
     observe = bool(args.metrics or args.prometheus
-                   or args.report is not None or args.serve is not None)
-
-    # Target IPCs (one private-equivalent run per thread) come first so
-    # the metrics collector can track slowdown-vs-solo live.
-    targets = None
-    if args.report is not None:
-        from repro.system.metrics import target_ipc
-        targets = [
-            target_ipc(
-                config,
-                resolve_workload(name, 0),
-                phi=allocation.bandwidth_shares[tid],
-                beta=allocation.capacity_shares[tid],
-                warmup=args.warmup,
-                measure=args.cycles,
-            )
-            for tid, name in enumerate(args.workloads)
-        ]
+                   or args.report is not None or args.serve is not None
+                   or args.alerts)
 
     telemetry = None
     ring = jsonl = histograms = None
     collector = attributor = None
     if resumed is None and (args.trace or args.histograms or observe):
         from repro.telemetry import (
-            InterferenceAttributor,
             JsonlSink,
             LatencyHistogramSink,
-            MetricsCollector,
             RingBufferSink,
             TelemetryBus,
         )
@@ -301,12 +257,47 @@ def main(argv: Optional[List[str]] = None) -> int:
                 ring = telemetry.attach(RingBufferSink())
         if args.histograms:
             histograms = telemetry.attach(LatencyHistogramSink())
-        if observe:
-            collector = telemetry.attach(MetricsCollector(
-                n_threads, window=args.metrics_window,
-                baseline_ipcs=targets,
-            ))
-            attributor = telemetry.attach(InterferenceAttributor(n_threads))
+
+    tracer = None
+    if args.spans is not None:
+        # The tracer shares the --trace bus (when one exists) so host
+        # spans land in the same Perfetto export as simulated cycles.
+        from repro.telemetry.spans import TRACK_RUN, TRACK_SCHED, SpanTracer
+        tracer = SpanTracer(sink=telemetry)
+
+    # Target IPCs (one private-equivalent run per thread) come first so
+    # the metrics collector can track slowdown-vs-solo live.
+    targets = None
+    if args.report is not None:
+        from repro.system.metrics import target_ipc
+
+        def one_target(tid: int, name: str) -> float:
+            return target_ipc(
+                config,
+                resolve_workload(name, 0),
+                phi=allocation.bandwidth_shares[tid],
+                beta=allocation.capacity_shares[tid],
+                warmup=args.warmup,
+                measure=args.cycles,
+            )
+
+        if tracer is not None:
+            targets = []
+            for tid, name in enumerate(args.workloads):
+                with tracer.span(f"target-ipc.t{tid}", TRACK_SCHED,
+                                 workload=name):
+                    targets.append(one_target(tid, name))
+        else:
+            targets = [one_target(tid, name)
+                       for tid, name in enumerate(args.workloads)]
+
+    if resumed is None and observe:
+        from repro.telemetry import InterferenceAttributor, MetricsCollector
+        collector = telemetry.attach(MetricsCollector(
+            n_threads, window=args.metrics_window,
+            baseline_ipcs=targets,
+        ))
+        attributor = telemetry.attach(InterferenceAttributor(n_threads))
 
     if resumed is not None:
         system = resumed.system
@@ -331,19 +322,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.core.monitor import QoSMonitor
         monitor = QoSMonitor(system, window=args.metrics_window)
 
+    engine = None
+    if args.alerts:
+        from repro.telemetry.alerts import AlertEngine, load_rules
+        engine = AlertEngine(load_rules(args.alerts))
+
     live = server = None
     on_window = None
-    if args.serve is not None:
+    if args.serve is not None or engine is not None:
         import os
 
         from repro.telemetry import LiveRun, TelemetryServer
         live = LiveRun(stale_after=args.stale_after)
-        server = TelemetryServer(live, port=args.serve)
-        server.start()
-        # Printed (and flushed) before the run so scrapers can find the
-        # auto-assigned port while the simulation is still in flight.
-        print(f"serving telemetry on {server.url} "
-              "(/metrics /healthz /snapshot /events)", flush=True)
+        live.alert_engine = engine
+        if tracer is not None:
+            live.on_span = tracer.ingest
+        if args.serve is not None:
+            server = TelemetryServer(live, port=args.serve)
+            server.start()
+            # Printed (and flushed) before the run so scrapers can find
+            # the auto-assigned port while the simulation is still in
+            # flight.
+            print(f"serving telemetry on {server.url} "
+                  "(/metrics /healthz /snapshot /events)", flush=True)
         live.begin_run(" ".join(args.workloads), kernel=system.kernel)
         live.begin_batch(1)
         worker = os.getpid()
@@ -364,17 +365,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                     live.put(("violation", 0, worker, asdict(violation)))
                 violations_sent = len(monitor.violations)
 
+    if tracer is not None and checkpointer is not None:
+        from repro.telemetry.spans import TRACK_CKPT
+
+        def _on_saved(cycle: int) -> None:
+            tracer.instant("checkpoint-write", TRACK_CKPT,
+                           cycle=cycle, path=args.checkpoint)
+
+        checkpointer.on_saved = _on_saved
+
     profiler = None
     if args.profile:
         from repro.common.profiling import start_profile
         profiler = start_profile()
     started = time.monotonic()
+    simulate_span = None
+    if tracer is not None:
+        simulate_span = tracer.begin(
+            "simulate", TRACK_RUN,
+            workloads=" ".join(args.workloads), kernel=system.kernel,
+            warmup=args.warmup, measure=args.cycles)
     if resumed is not None:
         result = resumed.run(checkpointer=checkpointer)
     else:
         result = run_simulation(system, warmup=args.warmup,
                                 measure=args.cycles, metrics=collector,
                                 on_window=on_window, checkpoint=checkpointer)
+    if tracer is not None:
+        tracer.end(simulate_span, cycles=result.cycles)
     wall_time = time.monotonic() - started
     if profiler is not None:
         from repro.common.profiling import finish_profile
@@ -478,6 +496,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             lineage["resumed_from"] = args.resume_checkpoint
         if args.checkpoint:
             lineage["checkpoint"] = args.checkpoint
+        if server is not None:
+            # Record the (possibly auto-assigned via --serve 0) address
+            # so artifacts point back at the endpoint that served them.
+            lineage["serve_url"] = server.url
         manifest = RunManifest.collect(
             config=config, kernel=system.kernel,
             wall_time_s=round(wall_time, 3),
@@ -493,13 +515,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             manifest.write(args.manifest)
             print(f"  manifest -> {args.manifest}")
+    if tracer is not None:
+        from repro.telemetry.spans import write_spans
+        count = write_spans(args.spans, tracer)
+        print(f"  spans: {count} host spans -> {args.spans}")
+    exit_code = 0
+    if engine is not None:
+        print(f"  alerts: {engine.summary_line()}")
+        if args.alerts_out:
+            from repro.telemetry.alerts import write_alerts
+            write_alerts(args.alerts_out, engine)
+            print(f"  alerts -> {args.alerts_out}")
+        if engine.page_fired:
+            from repro.telemetry.alerts import PAGE_EXIT_CODE
+            print("repro: a severity=page alert fired during the run",
+                  file=sys.stderr)
+            exit_code = PAGE_EXIT_CODE
     if server is not None:
         if args.serve_linger > 0:
             print(f"  telemetry server lingering {args.serve_linger:.0f}s "
                   f"at {server.url}", flush=True)
             time.sleep(args.serve_linger)
         server.stop()
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -90,6 +90,12 @@ _kernel = "event"
 # up to K points in one process, interleaved chunk-by-chunk in
 # simulated-cycle order.  Sticky like jobs.
 _lanes = 1
+# Host-time orchestration span tracer (repro.telemetry.spans.SpanTracer)
+# for --spans: run_points opens batch/point spans on it and propagates a
+# SpanContext to workers when a live feed exists so their spans travel
+# home over the same wire.  Reset by every configure() like the
+# observers; None keeps every producer at a single is-not-None test.
+_spans = None
 
 #: hits/misses observability (tests assert on this; reset via configure).
 cache_stats: Dict[str, int] = {"hits": 0, "misses": 0}
@@ -111,6 +117,7 @@ def configure(
     kernel: Optional[str] = None,
     lanes: Optional[int] = None,
     cpi_stacks: bool = False,
+    spans=None,
 ) -> None:
     """Set the process-wide execution policy (``jobs=0`` → all CPUs).
 
@@ -126,6 +133,13 @@ def configure(
     (:mod:`repro.telemetry.cycles`) on every point; like the observers
     it is reset by every call.
 
+    ``spans`` is a :class:`repro.telemetry.spans.SpanTracer` for host-
+    time orchestration tracing (``--spans``): batches and points get
+    wall-clock spans, cache hits/misses get instants, and — when a live
+    feed is also configured — workers are handed a
+    :class:`~repro.telemetry.spans.SpanContext` so their spans stream
+    home over the feed channel.  Reset by every call like the observers.
+
     ``kernel`` selects the simulation kernel every point runs under
     (``cycle``/``event``/``batch`` — bit-identical, wall time only).
     ``lanes`` enables the in-process lockstep driver: K points advance
@@ -135,7 +149,7 @@ def configure(
     a resilience policy is an error.
     """
     global _jobs, _cache_enabled, _progress, _telemetry, _metrics_window
-    global _live, _resilience, _kernel, _lanes, _cpi_stacks
+    global _live, _resilience, _kernel, _lanes, _cpi_stacks, _spans
     if jobs is not None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
@@ -172,6 +186,7 @@ def configure(
     _live = live
     _resilience = resilience
     _cpi_stacks = cpi_stacks
+    _spans = spans
     cache_stats["hits"] = 0
     cache_stats["misses"] = 0
     metrics_log.clear()
@@ -185,6 +200,11 @@ def configured_live():
 def configured_resilience():
     """The ResilienceConfig configured for this process, if any."""
     return _resilience
+
+
+def configured_spans():
+    """The host-time SpanTracer configured for this process, if any."""
+    return _spans
 
 
 def drain_metrics() -> List[Dict]:
@@ -315,6 +335,7 @@ def run_point(
     resumable: bool = False,
     kernel: Optional[str] = None,
     cpi_stacks: bool = False,
+    span_ctx=None,
 ) -> SimulationResult:
     """Simulate one point from scratch (no cache involvement).
 
@@ -339,6 +360,11 @@ def run_point(
     document returns on ``SimulationResult.cpi_stacks`` and — when
     metrics are also collected — is mirrored into the metrics snapshot
     as ``"cpi_stacks"`` so experiment aggregates carry it per point.
+
+    ``span_ctx`` is a :class:`repro.telemetry.spans.SpanContext`
+    (requires ``feed``): the point's simulation is wrapped in a worker-
+    side host-time span that streams home as a ``("span", ...)`` tuple,
+    parented under the parent-side span that scheduled this point.
     """
     if feed is not None and metrics_window is None:
         raise ValueError("a live feed requires a metrics window")
@@ -387,10 +413,25 @@ def run_point(
                               asdict(violation)))
                 violations_sent = len(monitor.violations)
 
-    result = run_simulation(
-        system, warmup=point.warmup, measure=point.measure, metrics=metrics,
-        on_window=on_window, checkpoint=checkpoint,
-    )
+    worker_span = worker_tracer = None
+    if span_ctx is not None and feed is not None:
+        from repro.telemetry.spans import TRACK_WORKER, SpanTracer
+        worker_tracer = SpanTracer(feed=feed, index=index, context=span_ctx)
+        worker_span = worker_tracer.begin(
+            f"simulate.point{index}", TRACK_WORKER,
+            warmup=point.warmup, measure=point.measure,
+        )
+    try:
+        result = run_simulation(
+            system, warmup=point.warmup, measure=point.measure,
+            metrics=metrics, on_window=on_window, checkpoint=checkpoint,
+        )
+    except BaseException as exc:
+        if worker_tracer is not None:
+            worker_tracer.end(worker_span, error=type(exc).__name__)
+        raise
+    if worker_tracer is not None:
+        worker_tracer.end(worker_span, cycles=system.cycle)
     if attributor is not None:
         attributor.finish(system.cycle)
         result.metrics["attribution"] = attributor.snapshot()
@@ -628,7 +669,7 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
         results_r = fleet.run_points_resilient(
             points, _resilience, jobs=_jobs,
             metrics_window=_metrics_window, progress=_progress, live=_live,
-            kernel=_kernel, cpi_stacks=_cpi_stacks,
+            kernel=_kernel, cpi_stacks=_cpi_stacks, spans=_spans,
         )
         if _metrics_window is not None:
             metrics_log.extend(
@@ -644,6 +685,12 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
     live = _live
     base = live.begin_batch(len(points)) if live is not None else 0
     cpi_stacks = _cpi_stacks
+    spans = _spans
+    batch_span = None
+    open_points: Dict[int, object] = {}
+    if spans is not None:
+        from repro.telemetry.spans import TRACK_SCHED
+        batch_span = spans.begin("batch", points=len(points))
     # Metrics runs bypass the cache entirely: cached results carry no
     # snapshots, and polluting the cache with observed runs would make
     # hit results depend on observability settings.  Cycle-accounted
@@ -662,6 +709,9 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
             if cached is not None:
                 cache_stats["hits"] += 1
                 results[index] = cached
+                if spans is not None:
+                    spans.instant("cache-hit", TRACK_SCHED,
+                                  parent=batch_span, point=index)
                 if telemetry is not None:
                     telemetry.emit(TraceEvent(
                         ts=wall_us(), phase=PH_INSTANT, category=CAT_RUN,
@@ -672,6 +722,9 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
                     progress.point_done(cached=True)
                 continue
             cache_stats["misses"] += 1
+            if spans is not None:
+                spans.instant("cache-miss", TRACK_SCHED,
+                              parent=batch_span, point=index)
         todo.append(index)
 
     def finish(index: int, result: SimulationResult, started_us: int) -> None:
@@ -687,6 +740,10 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
             ))
         if live is not None:
             live.point_done(base + index, result.metrics)
+        if spans is not None:
+            sched_span = open_points.pop(index, None)
+            if sched_span is not None:
+                spans.end(sched_span, cycles=result.cycles)
         if progress is not None:
             progress.point_done(cached=False)
 
@@ -719,11 +776,20 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
             try:
                 pending = {}
                 for index in todo:
+                    span_ctx = None
+                    if spans is not None:
+                        open_points[index] = spans.begin(
+                            f"point{index}", TRACK_SCHED,
+                            parent=batch_span, point=index)
+                        if feed is not None:
+                            span_ctx = spans.child_context(
+                                open_points[index])
                     pending[pool.submit(run_point, points[index],
                                         metrics_window, feed,
                                         base + index,
                                         kernel=_kernel,
-                                        cpi_stacks=cpi_stacks)] = (
+                                        cpi_stacks=cpi_stacks,
+                                        span_ctx=span_ctx)] = (
                         index, wall_us()
                     )
                 while pending:
@@ -752,10 +818,20 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
                       finish, wall_us, cpi_stacks=cpi_stacks)
     else:
         for index in todo:
+            span_ctx = None
+            if spans is not None:
+                open_points[index] = spans.begin(
+                    f"point{index}", TRACK_SCHED, parent=batch_span,
+                    point=index)
+                if live is not None:
+                    span_ctx = spans.child_context(open_points[index])
             finish(index, run_point(points[index], metrics_window, live,
                                     base + index, kernel=_kernel,
-                                    cpi_stacks=cpi_stacks),
+                                    cpi_stacks=cpi_stacks,
+                                    span_ctx=span_ctx),
                    wall_us())
+    if spans is not None:
+        spans.end(batch_span)
     if metrics_window is not None:
         metrics_log.extend(
             result.metrics for result in results

@@ -6,10 +6,14 @@ used by the test suite.  ``--jobs N`` fans independent simulation
 points across N worker processes (0 = all CPUs); ``--no-cache``
 disables the on-disk target-IPC cache (see
 :mod:`repro.experiments.parallel`).  Observability (see
-docs/ARCHITECTURE.md): ``--progress`` reports per-point completion and
-ETA on stderr, ``--trace PATH`` captures the runner's orchestration
-events as a Chrome/Perfetto trace, and ``--manifest [DIR]`` writes each
-experiment's provenance record next to the output.
+docs/ARCHITECTURE.md; shared flags live in
+:mod:`repro.telemetry.options`): ``--progress`` reports per-point
+completion and ETA on stderr, ``--trace PATH`` captures the runner's
+orchestration events as a Chrome/Perfetto trace, ``--spans PATH``
+traces the host-time orchestration layer, ``--alerts RULES`` evaluates
+declarative alert rules against the live stream (a fired
+``severity=page`` rule exits nonzero), and ``--manifest [DIR]`` writes
+each experiment's provenance record next to the output.
 
 Resilience (see docs/ARCHITECTURE.md "Resilience"): ``--run-dir DIR``
 routes execution through the journaled fault-tolerant fleet —
@@ -33,12 +37,18 @@ from repro.resilience.fleet import PointsExcludedError
 from repro.telemetry import RunManifest
 
 
-def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
+def run_experiment(exp_id: str, fast: bool = False,
+                   manifest_extra: Optional[dict] = None) -> ExperimentResult:
     """Run one experiment; the result carries a provenance manifest.
 
     When metrics collection is configured (``parallel.configure(...,
     metrics=window)``), the per-point snapshots the workers produced are
     drained here and attached as one aggregate on ``result.metrics``.
+
+    ``manifest_extra`` merges additional provenance keys into the
+    manifest (the CLI records the live telemetry endpoint here, so
+    aggregators/tests can discover ``--serve 0``'s auto-assigned port
+    without scraping stdout).
     """
     if exp_id not in REGISTRY:
         raise KeyError(
@@ -47,10 +57,16 @@ def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
     cache_before = dict(parallel.cache_stats)
     kernel = parallel.configured_kernel()
     live = parallel.configured_live()
+    spans = parallel.configured_spans()
     if live is not None:
         live.begin_run(exp_id, kernel=kernel)
     started = time.monotonic()
+    exp_span = None
+    if spans is not None:
+        exp_span = spans.begin(f"experiment.{exp_id}", fast=fast)
     result = REGISTRY[exp_id](fast=fast)
+    if spans is not None:
+        spans.end(exp_span)
     snapshots = parallel.drain_metrics()
     if snapshots:
         from repro.telemetry import merge_attribution, merge_snapshots
@@ -65,7 +81,7 @@ def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
     if live is not None:
         # /snapshot now serves the exact aggregate written to disk.
         live.finish_run(result.metrics)
-    extra = {}
+    extra = dict(manifest_extra or {})
     resilience = parallel.configured_resilience()
     if resilience is not None:
         # Resume lineage: the manifest records which run directory this
@@ -92,9 +108,11 @@ def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.telemetry.options import telemetry_options
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
+        parents=[telemetry_options()],
     )
     parser.add_argument("experiments", nargs="*",
                         help="experiment ids, or 'all'")
@@ -107,26 +125,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for independent simulation "
                              "points (0 = all CPUs; default 1, serial)")
-    parser.add_argument("--kernel", default="event",
-                        choices=("cycle", "event", "batch"),
-                        help="simulation kernel for every point "
-                             "(bit-identical results; wall time only; "
-                             "recorded in manifests and /snapshot)")
     parser.add_argument("--lanes", type=int, default=1, metavar="K",
                         help="advance up to K points in lockstep in one "
                              "process (alternative to --jobs; incompatible "
                              "with --serve and --run-dir/--resume)")
-    parser.add_argument("--profile", default=None, metavar="PATH",
-                        help="profile the experiment runs with cProfile: "
-                             "dump pstats to PATH and print the top-20 "
-                             "cumulative functions")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk target-IPC result cache")
     parser.add_argument("--progress", action="store_true",
                         help="report per-point progress and ETA on stderr")
-    parser.add_argument("--trace", default=None, metavar="PATH",
-                        help="write the runner's orchestration events as "
-                             "Chrome/Perfetto trace_event JSON")
     parser.add_argument("--manifest", nargs="?", const=".", default=None,
                         metavar="DIR",
                         help="write <exp_id>.manifest.json per experiment "
@@ -142,10 +148,6 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="print a QoS fleet report card per experiment "
                              "and write <exp_id>.report.json into DIR "
                              "(implies metrics collection)")
-    parser.add_argument("--metrics-window", type=int, default=2_000,
-                        metavar="CYCLES",
-                        help="metrics aggregation window in cycles "
-                             "(default 2000)")
     parser.add_argument("--cpi-stacks", action="store_true",
                         help="attach per-thread cycle accounting to every "
                              "point: CPI stacks with exact conservation "
@@ -162,19 +164,6 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "experiment (manifest + headline metrics + "
                              "CPI stacks) to the JSONL file at PATH; "
                              "inspect with 'python -m repro history'")
-    parser.add_argument("--serve", type=int, default=None, metavar="PORT",
-                        help="serve live fleet telemetry over HTTP while "
-                             "experiments run (/metrics /healthz /snapshot "
-                             "/events; 0 = auto-assign a port, printed; "
-                             "implies metrics collection)")
-    parser.add_argument("--serve-linger", type=float, default=0.0,
-                        metavar="SECONDS",
-                        help="keep the telemetry server up this long after "
-                             "the last experiment completes")
-    parser.add_argument("--stale-after", type=float, default=30.0,
-                        metavar="SECONDS",
-                        help="worker heartbeat age after which /healthz "
-                             "reports the run degraded (default 30)")
     parser.add_argument("--run-dir", default=None, metavar="DIR",
                         help="run through the fault-tolerant fleet, "
                              "journaling progress (and checkpoints, "
@@ -252,35 +241,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         ring = telemetry.attach(RingBufferSink())
     if args.stacks is not None and not args.cpi_stacks:
         parser.error("--stacks requires --cpi-stacks")
+    if args.alerts_out and not args.alerts:
+        parser.error("--alerts-out requires --alerts")
+    tracer = None
+    if args.spans is not None:
+        from repro.telemetry.spans import SpanTracer
+        # Sharing the --trace bus (when present) lands host-time spans
+        # in the same Perfetto export as the orchestration events.
+        tracer = SpanTracer(sink=telemetry)
+    engine = None
+    if args.alerts:
+        from repro.telemetry.alerts import AlertEngine, load_rules
+        engine = AlertEngine(load_rules(args.alerts))
     metrics_window = None
     if (args.metrics is not None or args.report is not None
             or args.serve is not None or args.cpi_stacks
-            or args.history is not None):
-        # Cycle accounting and the history ledger ride the metrics
-        # aggregate, so either implies metrics collection.
+            or args.history is not None or engine is not None):
+        # Cycle accounting, the history ledger, and alert evaluation
+        # all ride the metrics aggregate, so each implies collection.
         metrics_window = args.metrics_window
     live = server = None
-    if args.serve is not None:
+    if args.serve is not None or engine is not None:
+        # --alerts without --serve still needs the LiveRun event bus so
+        # the engine sees the stream; it just never opens a socket.
         from repro.telemetry import LiveRun, TelemetryServer
         live = LiveRun(stale_after=args.stale_after, progress=progress)
-        server = TelemetryServer(live, port=args.serve)
-        server.start()
-        print(f"serving telemetry on {server.url} "
-              "(/metrics /healthz /snapshot /events)", flush=True)
+        live.alert_engine = engine
+        if tracer is not None:
+            live.on_span = tracer.ingest
+        if args.serve is not None:
+            server = TelemetryServer(live, port=args.serve)
+            server.start()
+            print(f"serving telemetry on {server.url} "
+                  "(/metrics /healthz /snapshot /events)", flush=True)
     if args.lanes > 1:
         if args.jobs > 1:
             parser.error("--lanes and --jobs are alternative parallelism "
                          "modes; pick one")
-        if args.serve is not None:
-            parser.error("--lanes cannot stream a live feed; drop --serve")
+        if live is not None:
+            parser.error("--lanes cannot stream a live feed; drop "
+                         "--serve/--alerts")
         if run_dir is not None:
             parser.error("--lanes does not journal checkpoints; drop "
                          "--run-dir/--resume")
     parallel.configure(jobs=args.jobs, cache=not args.no_cache,
                        progress=progress, telemetry=telemetry,
                        metrics=metrics_window, live=live,
-                       resilience=resilience, kernel=args.kernel,
-                       lanes=args.lanes, cpi_stacks=args.cpi_stacks)
+                       resilience=resilience,
+                       kernel=args.kernel or "event",
+                       lanes=args.lanes, cpi_stacks=args.cpi_stacks,
+                       spans=tracer)
 
     if args.list or not args.experiments:
         for exp_id in sorted(REGISTRY):
@@ -343,11 +353,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.profile:
         from repro.common.profiling import start_profile
         profiler = start_profile()
+    manifest_extra = ({"serve_url": server.url}
+                      if server is not None else None)
     try:
         for exp_id in requested:
             started = time.time()
             try:
-                result = run_experiment(exp_id, fast=args.fast)
+                result = run_experiment(exp_id, fast=args.fast,
+                                        manifest_extra=manifest_extra)
             except KeyboardInterrupt:
                 return bail(exp_id, f"interrupted during {exp_id}.", 130)
             except PointsExcludedError as exc:
@@ -381,7 +394,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 path.write_text(json.dumps(docs, indent=2) + "\n")
                 print(f"stacks -> {path} ({len(docs)} point stacks)")
             if args.history is not None and result.metrics is not None:
-                from repro.telemetry.history import append_entry, build_entry
+                from repro.telemetry.history import (
+                    append_entry,
+                    build_entry,
+                    read_history,
+                )
+                if engine is not None:
+                    # Bench regression is judged against the ledger as
+                    # it stood BEFORE this run appends its own entry.
+                    for payload in engine.evaluate_history(
+                            exp_id, result.metrics,
+                            read_history(args.history)):
+                        if live is not None:
+                            live.alert(payload)
                 append_entry(args.history, build_entry(
                     exp_id,
                     manifest=(result.manifest.to_dict()
@@ -430,13 +455,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         count = write_chrome_trace(args.trace, ring)
         print(f"trace: {count} events -> {args.trace} "
               "(open in ui.perfetto.dev)")
+    if tracer is not None:
+        from repro.telemetry.spans import write_spans
+        count = write_spans(args.spans, tracer)
+        print(f"spans: {count} host-time spans -> {args.spans}")
+    exit_code = 0
+    if engine is not None:
+        print(engine.summary_line())
+        if args.alerts_out:
+            from repro.telemetry.alerts import write_alerts
+            write_alerts(args.alerts_out, engine)
+            print(f"alerts -> {args.alerts_out}")
+        if engine.page_fired:
+            from repro.telemetry.alerts import PAGE_EXIT_CODE
+            print("a page-severity alert fired; failing the run",
+                  file=sys.stderr)
+            exit_code = PAGE_EXIT_CODE
     if server is not None:
         if args.serve_linger > 0:
             print(f"telemetry server lingering {args.serve_linger:.0f}s "
                   f"at {server.url}", flush=True)
             time.sleep(args.serve_linger)
         server.stop()
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -181,6 +181,7 @@ def run_points_resilient(
     live=None,
     kernel: Optional[str] = None,
     cpi_stacks: bool = False,
+    spans=None,
 ) -> List:
     """Run a batch of points under the resilience policy.
 
@@ -194,6 +195,11 @@ def run_points_resilient(
     ``KeyboardInterrupt`` terminates the fleet, journals the
     interruption, and re-raises — the CLI layer prints the exact
     ``--resume`` command.
+
+    ``spans`` is a :class:`repro.telemetry.spans.SpanTracer`: each
+    worker attempt gets a host-time span (spawn → exit, with outcome),
+    retries/backoffs and exclusions get ``host.retry`` instants, and
+    every durable journal append lands as a ``host.journal`` instant.
     """
     from repro.experiments.parallel import cache_key
 
@@ -202,6 +208,16 @@ def run_points_resilient(
     keys = [cache_key(point) for point in points]
     results: List = [None] * len(points)
     journal = RunJournal(run_dir)
+    if spans is not None:
+        from repro.telemetry.spans import (
+            TRACK_JOURNAL,
+            TRACK_RETRY,
+            TRACK_WORKER,
+        )
+        journal.on_append = (
+            lambda event: spans.instant(f"journal.{event}", TRACK_JOURNAL))
+        spans.instant("journal-replay", TRACK_JOURNAL,
+                      records=state.started, run_dir=str(run_dir))
 
     if progress is not None:
         progress.begin(len(points))
@@ -238,6 +254,9 @@ def run_points_resilient(
             excluded.append((slot.index, slot.key, slot.attempt, error))
             if live is not None:
                 live.point_excluded(slot.index, error)
+            if spans is not None:
+                spans.instant("excluded", TRACK_RETRY, point=slot.index,
+                              attempt=slot.attempt, error=error)
             if progress is not None:
                 progress.point_done(cached=False)
         else:
@@ -246,6 +265,10 @@ def run_points_resilient(
                                  retry_in=delay)
             if live is not None:
                 live.point_retry(slot.index, slot.attempt, error)
+            if spans is not None:
+                spans.instant("retry-backoff", TRACK_RETRY, point=slot.index,
+                              attempt=slot.attempt, delay_s=delay,
+                              error=error)
             slot.not_before = time.monotonic() + delay
             pending.append(slot)
 
@@ -270,17 +293,25 @@ def run_points_resilient(
                 proc.start()
                 journal.point_started(ready.key, ready.index, ready.attempt,
                                       worker_pid=proc.pid)
+                attempt_span = None
+                if spans is not None:
+                    attempt_span = spans.begin(
+                        f"attempt.point{ready.index}", TRACK_WORKER,
+                        point=ready.index, attempt=ready.attempt,
+                        worker_pid=proc.pid)
                 deadline = now + timeout if timeout > 0 else None
-                active[proc] = (ready, deadline)
+                active[proc] = (ready, deadline, attempt_span)
             now = time.monotonic()
             for proc in list(active):
-                slot, deadline = active[proc]
+                slot, deadline, attempt_span = active[proc]
                 if not proc.is_alive():
                     proc.join()
                     del active[proc]
                     if proc.exitcode == 0:
                         result = load_result(result_path(run_dir, slot.key))
                         if result is not None:
+                            if spans is not None:
+                                spans.end(attempt_span, outcome="finished")
                             journal.point_finished(slot.key, slot.index,
                                                    slot.attempt)
                             results[slot.index] = result
@@ -293,9 +324,14 @@ def run_points_resilient(
                                     f"chaos abort_after={abort_after} "
                                     f"reached in {run_dir}")
                             continue
+                        if spans is not None:
+                            spans.end(attempt_span, outcome="bad-result")
                         fail(slot, "worker exited 0 but its result "
                                    "sidecar is missing or unreadable")
                     else:
+                        if spans is not None:
+                            spans.end(attempt_span, outcome="died",
+                                      exitcode=proc.exitcode)
                         fail(slot, f"worker exited with code "
                                    f"{proc.exitcode}")
                 elif deadline is not None and now > deadline:
@@ -305,6 +341,8 @@ def run_points_resilient(
                         proc.kill()
                         proc.join()
                     del active[proc]
+                    if spans is not None:
+                        spans.end(attempt_span, outcome="timeout")
                     fail(slot, f"timed out after {timeout:g}s")
             if pending and not active:
                 gate = min(s.not_before for s in pending)

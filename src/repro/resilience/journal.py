@@ -91,12 +91,19 @@ class RunJournal:
         self._fd = os.open(
             self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
+        #: Observability tap: called with the event name after each
+        #: durable append (the resilience fleet points this at the
+        #: host-time span tracer).  Never on the durability path's
+        #: error handling — a failing observer must not lose a record.
+        self.on_append = None
 
     def append(self, event: str, **fields) -> None:
         record = {"event": event, "ts": round(time.time(), 3), **fields}
         line = json.dumps(record, sort_keys=True) + "\n"
         os.write(self._fd, line.encode())
         os.fsync(self._fd)
+        if self.on_append is not None:
+            self.on_append(event)
 
     def close(self) -> None:
         if self._fd >= 0:

@@ -24,11 +24,13 @@ from .cycles import (
     render_decomposition,
     verify_stack,
 )
+from .alerts import AlertEngine, AlertRule, load_rules, write_alerts
 from .events import (
     CAT_ARBITER,
     CAT_CACHE,
     CAT_CPI,
     CAT_DRAM,
+    CAT_HOST,
     CAT_KERNEL,
     CAT_MSHR,
     CAT_REQUEST,
@@ -43,6 +45,7 @@ from .events import (
     PH_INSTANT,
     TraceEvent,
 )
+from .federation import FleetAggregator, FleetServer, merge_fleet
 from .histograms import Histogram, LatencyHistogramSink
 from .history import append_entry, build_entry, diff_entries, read_history
 from .manifest import RunManifest, config_hash, git_sha
@@ -57,6 +60,7 @@ from .report import (
     write_report,
 )
 from .server import LiveRun, TelemetryServer
+from .spans import SpanContext, SpanTracer, write_spans
 from .validate import validate_chrome_trace
 
 __all__ = [
@@ -65,7 +69,7 @@ __all__ = [
     "PH_BEGIN", "PH_END", "PH_COMPLETE", "PH_INSTANT", "PH_COUNTER",
     "CAT_REQUEST", "CAT_RESOURCE", "CAT_ARBITER", "CAT_KERNEL",
     "CAT_MSHR", "CAT_SGB", "CAT_DRAM", "CAT_XBAR", "CAT_RUN", "CAT_CACHE",
-    "CAT_CPI",
+    "CAT_CPI", "CAT_HOST",
     "BUCKETS", "CycleAccounting", "verify_stack",
     "decompose_slowdown", "render_decomposition",
     "append_entry", "build_entry", "diff_entries", "read_history",
@@ -78,5 +82,8 @@ __all__ = [
     "chrome_trace", "write_chrome_trace",
     "ProgressReporter",
     "LiveRun", "TelemetryServer",
+    "SpanContext", "SpanTracer", "write_spans",
+    "AlertEngine", "AlertRule", "load_rules", "write_alerts",
+    "FleetAggregator", "FleetServer", "merge_fleet",
     "validate_chrome_trace",
 ]

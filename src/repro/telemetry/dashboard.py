@@ -226,6 +226,72 @@ def render(snapshot: Dict, health: Dict,
     return "\n".join(_clip(lines, width)) + "\n"
 
 
+def render_fleet(snapshot: Dict, fleet_health: Dict,
+                 width: Optional[int] = None) -> str:
+    """One fleet dashboard frame from the aggregator's two documents
+    (``/snapshot`` + ``/fleet/healthz``) — a worker roster on top of
+    the usual merged-point view."""
+    points = _per_point(snapshot or {})
+    status = fleet_health.get("status", "?")
+    workers = fleet_health.get("workers", {})
+    unreachable = fleet_health.get("unreachable_workers") or []
+    alerts = fleet_health.get("alerts") or {}
+    lines = [
+        f"repro top — fleet [{status.upper()}]  "
+        f"workers {len(workers) - len(unreachable)}/{len(workers)} up  "
+        f"points merged over {len(points)} point(s)"
+        + (f"  ALERTS firing: {','.join(alerts['firing'])}"
+           if alerts.get("firing") else ""),
+    ]
+    for index in sorted(workers, key=int):
+        worker = workers[index]
+        pts = worker.get("points") or {}
+        extras = ""
+        if pts:
+            extras += f"  points {pts.get('done', 0)}/{pts.get('total', 0)}"
+        resilience = worker.get("resilience") or {}
+        if resilience.get("retries"):
+            extras += f"  retries {resilience['retries']}"
+        if worker.get("violations"):
+            extras += f"  violations {worker['violations']}"
+        lines.append(f"  w{index} {worker.get('status', '?'):<12} "
+                     f"{worker.get('url', '?')}{extras}")
+    lines.append("")
+    index, point = _active_point(points)
+    if point is None:
+        lines.append("waiting for the first worker snapshot...")
+        return "\n".join(_clip(lines, width)) + "\n"
+    lines.append(f"latest point {index} (threads: {point.get('n_threads')}, "
+                 f"arbiter: {point.get('arbiter', '?')})")
+    lines.extend(_thread_rows(point))
+    lines.append("")
+    lines.extend(_utilization_rows(point))
+    pair = top_interference_pair(points)
+    lines.append("")
+    if pair is not None:
+        resource, victim, aggressor, cycles = pair
+        lines.append(f"top interference: {resource}: t{victim} <- "
+                     f"t{aggressor} ({cycles} cycles)")
+    else:
+        lines.append("top interference: (none recorded)")
+    return "\n".join(_clip(lines, width)) + "\n"
+
+
+def render_fleet_log_line(snapshot: Dict, fleet_health: Dict) -> str:
+    """The non-TTY fleet form: one grep-able roster line per refresh."""
+    points = _per_point(snapshot or {})
+    workers = fleet_health.get("workers", {})
+    unreachable = fleet_health.get("unreachable_workers") or []
+    statuses = ",".join(
+        f"w{index}={workers[index].get('status', '?')}"
+        for index in sorted(workers, key=int)) or "-"
+    alerts = fleet_health.get("alerts") or {}
+    return (f"repro-fleet status={fleet_health.get('status', '?')} "
+            f"up={len(workers) - len(unreachable)}/{len(workers)} "
+            f"points={len(points)} [{statuses}] "
+            f"alerts_fired={alerts.get('fired', 0)}")
+
+
 def render_log_line(snapshot: Dict, health: Dict) -> str:
     """The non-TTY form: one grep-able status line per refresh."""
     points = _per_point(snapshot or {})
@@ -265,6 +331,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--url", required=True,
                         help="server base URL, e.g. http://127.0.0.1:9108")
+    parser.add_argument("--fleet", action="store_true",
+                        help="the URL is a fleet aggregator "
+                             "(python -m repro fleet): render the whole "
+                             "fleet from /snapshot + /fleet/healthz")
     parser.add_argument("--interval", type=float, default=1.0,
                         help="refresh period in seconds (default 1)")
     parser.add_argument("--once", action="store_true",
@@ -275,15 +345,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     base = args.url.rstrip("/")
     tty = sys.stdout.isatty() and not args.plain
 
+    health_path = "/fleet/healthz" if args.fleet else "/healthz"
+
     while True:
         try:
             snapshot = _fetch_json(f"{base}/snapshot", timeout=5.0)
-            health = _fetch_json(f"{base}/healthz", timeout=5.0)
+            health = _fetch_json(f"{base}{health_path}", timeout=5.0)
         except (urllib.error.URLError, OSError) as error:
             print(f"repro top: cannot reach {base}: {error}",
                   file=sys.stderr)
             return 1
-        if tty:
+        if args.fleet:
+            frame = (render_fleet(snapshot, health,
+                                  width=shutil.get_terminal_size().columns)
+                     if tty else render_fleet_log_line(snapshot, health)
+                     + "\n")
+            sys.stdout.write(CLEAR + frame if tty else frame)
+        elif tty:
             columns = shutil.get_terminal_size().columns
             sys.stdout.write(CLEAR + render(snapshot, health,
                                             width=columns))

@@ -36,6 +36,7 @@ CAT_XBAR = "crossbar"        # crossbar transport
 CAT_RUN = "run"              # experiment-runner orchestration (wall clock)
 CAT_CACHE = "cache"          # capacity-manager victimizations + occupancy
 CAT_CPI = "cpi"              # per-thread CPI-stack counter tracks
+CAT_HOST = "host"            # host-time orchestration spans (wall clock)
 
 
 @dataclass

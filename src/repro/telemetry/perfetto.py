@@ -11,10 +11,16 @@ the JSON Array Format understood by ``ui.perfetto.dev`` and
   (``bank0.tag``, ``bank0.data``, ``bank0.bus``, ``dram.ch*``, SGB and
   MSHR tracks) carrying occupancy slices and arbiter grant markers.
 * **process 3 — "kernel"**: skip-ahead markers and counter tracks.
+* **process 4 — "host orchestration"**: wall-clock spans from the
+  orchestration layer (``CAT_RUN`` point/cache markers and ``CAT_HOST``
+  spans from :mod:`repro.telemetry.spans`) on ``host.*`` tracks — one
+  trace file shows simulated cycles and host time side by side.
 
 Timestamps are simulated cycles reported as microseconds (1 cycle =
 1 us) — Perfetto needs *some* time unit and the ratio view is what
-matters for a simulator.
+matters for a simulator.  Host-orchestration events are genuine
+wall-clock microseconds; the separate process keeps the two time bases
+visually apart.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import json
 from typing import Dict, Iterable, List
 
 from .events import (
+    CAT_HOST,
     CAT_KERNEL,
     CAT_REQUEST,
     CAT_RUN,
@@ -38,16 +45,20 @@ from .events import (
 PID_THREADS = 1
 PID_RESOURCES = 2
 PID_KERNEL = 3
+PID_HOST = 4
 
 _PROCESS_NAMES = {
     PID_THREADS: "hardware threads",
     PID_RESOURCES: "shared resources",
     PID_KERNEL: "kernel",
+    PID_HOST: "host orchestration",
 }
 
 
 def _pid_for(event: TraceEvent) -> int:
-    if event.category in (CAT_REQUEST, CAT_XBAR, CAT_RUN):
+    if event.category in (CAT_RUN, CAT_HOST):
+        return PID_HOST
+    if event.category in (CAT_REQUEST, CAT_XBAR):
         return PID_THREADS
     if event.category == CAT_KERNEL or event.phase == PH_COUNTER:
         return PID_KERNEL

@@ -37,6 +37,7 @@ The feed protocol is deliberately dumb so it crosses the
     ("window",    point_index, worker_id, cycle, metrics_snapshot)
     ("violation", point_index, worker_id, violation_dict)
     ("hb",        worker_id)
+    ("span",      point_index, worker_pid, span_record)
 
 Heartbeat ages are measured with the *parent's* clock at receive time,
 so worker/parent clock skew cannot fake liveness.
@@ -82,6 +83,14 @@ class LiveRun:
         self._clock = clock
         self._lock = threading.Lock()
         self._subscribers: List[queue.Queue] = []
+        #: Parent-side SpanTracer.ingest when host-span tracing is on:
+        #: worker span records arriving over the feed are handed here.
+        self.on_span = None
+        #: AlertEngine evaluating every published event (``--alerts``).
+        #: Guarded by its own lock — producers publish from more than
+        #: one thread and the engine is not internally synchronized.
+        self.alert_engine = None
+        self._alert_lock = threading.Lock()
         self.run_label = ""
         self.run_kernel = ""      # simulation kernel ("cycle"/"event"/...)
         self.total = 0
@@ -118,6 +127,9 @@ class LiveRun:
             self.heartbeat(worker)
         elif kind == "hb":
             self.heartbeat(msg[1])
+        elif kind == "span":
+            _, index, worker, record = msg
+            self.span(index, worker, record)
 
     def begin_run(self, label: str = "", kernel: str = "") -> None:
         """Start (or switch to) a named run: clears per-point state.
@@ -178,6 +190,19 @@ class LiveRun:
         self._publish("violation", {
             "point": index, "worker": worker, **record,
         })
+
+    def span(self, index: Optional[int], worker: int, record: Dict) -> None:
+        """A host-time span record arrived from a worker (or was closed
+        parent-side): hand it to the parent tracer and put it on the
+        event stream so ``/events`` carries orchestration spans too."""
+        if self.on_span is not None:
+            self.on_span(record)
+        self._publish("span", {"point": index, "worker": worker,
+                               "span": record})
+
+    def alert(self, payload: Dict) -> None:
+        """Publish a structured alert event (AlertEngine emission)."""
+        self._publish("alert", payload)
 
     def point_retry(self, index: int, attempt: int, error: str) -> None:
         """A resilience-fleet worker died or timed out and is being
@@ -273,6 +298,13 @@ class LiveRun:
                     self._warned_stale.add(worker)
                 if fresh:
                     self.progress.stale_worker(worker, age)
+        engine = self.alert_engine
+        if engine is not None:
+            with self._alert_lock:
+                emitted = engine.observe_health(
+                    {"stale_workers": [worker for worker, _ in stale]})
+            for alert_payload in emitted:
+                self.alert(alert_payload)
         return stale
 
     def health(self) -> Dict:
@@ -306,6 +338,11 @@ class LiveRun:
                     "retries": self.retries,
                     "excluded": self.excluded,
                 },
+                "alerts": (
+                    {"fired": self.alert_engine.fired,
+                     "firing": self.alert_engine.firing}
+                    if self.alert_engine is not None else None
+                ),
             }
 
     # ------------------------------------------------------------------ #
@@ -334,6 +371,15 @@ class LiveRun:
                 self._subscribers.remove(subscriber)
 
     def _publish(self, event: str, payload: Dict) -> None:
+        # Alert evaluation rides the publish path so every signal the
+        # SSE stream sees, the rules see — but never recursively on the
+        # "alert" events the engine itself emits.
+        engine = self.alert_engine
+        if engine is not None and event != "alert":
+            with self._alert_lock:
+                emitted = engine.observe(event, payload)
+            for alert_payload in emitted:
+                self.alert(alert_payload)
         with self._lock:
             subscribers = list(self._subscribers)
         for subscriber in subscribers:

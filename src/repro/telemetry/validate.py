@@ -18,13 +18,23 @@ Three validators, one CLI:
 * :func:`validate_prometheus` — Prometheus text exposition from
   ``--prometheus``: sample-line grammar, numeric values, and that every
   sampled family was declared with ``# TYPE`` first.
+* :func:`validate_spans` — ``repro.spans/1`` documents from ``--spans``:
+  per-record required keys, id uniqueness, parent links that resolve
+  within the document, non-negative durations, and timestamp ordering.
+* :func:`validate_alerts` — ``repro.alerts/1`` documents from
+  ``--alerts-out`` (or a fleet aggregator's ``/alerts``): rule/event
+  shapes, monotonically increasing ``sequence`` ordinals, events that
+  reference declared rules, and a summary consistent with the events.
 
 Run as a module for CI (the artifact kind is inferred from content, or
-forced with ``--trace`` / ``--metrics`` / ``--prometheus``)::
+forced with ``--trace`` / ``--metrics`` / ``--prometheus`` /
+``--spans`` / ``--alerts``)::
 
     python -m repro.telemetry.validate trace.json
     python -m repro.telemetry.validate metrics.json
     python -m repro.telemetry.validate --prometheus metrics.prom
+    python -m repro.telemetry.validate spans.json
+    python -m repro.telemetry.validate alerts.json
 """
 
 from __future__ import annotations
@@ -322,8 +332,154 @@ def validate_prometheus(text: str) -> List[str]:
     return errors
 
 
+_SPANS_SCHEMAS = ("repro.spans/1",)
+_ALERTS_SCHEMAS = ("repro.alerts/1",)
+
+_SPAN_KINDS = ("span", "instant")
+_ALERT_STATES = ("firing", "resolved")
+_ALERT_SEVERITIES = ("warn", "page")
+
+
+def validate_spans(payload) -> List[str]:
+    """Validate a ``repro.spans/1`` host-span document from ``--spans``.
+
+    Checks per-record required keys, span-id uniqueness, that every
+    ``parent_id`` resolves to another span in the document, non-negative
+    durations, and the (``ts_us``, ``span_id``) sort order the writer
+    promises.
+    """
+    if not isinstance(payload, dict):
+        return [f"spans must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") not in _SPANS_SCHEMAS:
+        return [f"unknown spans schema {payload.get('schema')!r}"]
+    errors: List[str] = []
+    if not isinstance(payload.get("epoch_unix_us"), int):
+        errors.append("missing integer 'epoch_unix_us'")
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        return errors + ["document has no 'spans' list"]
+    seen: Dict[str, int] = {}
+    previous = None
+    for index, record in enumerate(spans):
+        where = f"spans[{index}]"
+        if not isinstance(record, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        kind = record.get("kind")
+        if kind not in _SPAN_KINDS:
+            errors.append(f"{where}: bad kind {kind!r}")
+        for key in ("trace_id", "span_id", "name", "track"):
+            if not isinstance(record.get(key), str) or not record.get(key):
+                errors.append(f"{where}: missing string {key!r}")
+        if not isinstance(record.get("ts_us"), int):
+            errors.append(f"{where}: missing integer 'ts_us'")
+        if kind == "span":
+            duration = record.get("dur_us")
+            if not isinstance(duration, int) or duration < 0:
+                errors.append(f"{where}: bad 'dur_us' {duration!r}")
+        if not isinstance(record.get("args"), dict):
+            errors.append(f"{where}: missing 'args' object")
+        span_id = record.get("span_id")
+        if isinstance(span_id, str):
+            if span_id in seen:
+                errors.append(f"{where}: duplicate span_id {span_id!r} "
+                              f"(first at spans[{seen[span_id]}])")
+            else:
+                seen[span_id] = index
+        key = (record.get("ts_us"), span_id)
+        if (previous is not None and isinstance(key[0], int)
+                and isinstance(previous[0], int) and key < previous):
+            errors.append(f"{where}: out of (ts_us, span_id) order")
+        previous = key
+    for index, record in enumerate(spans):
+        if not isinstance(record, dict):
+            continue
+        parent = record.get("parent_id")
+        if parent and parent not in seen:
+            errors.append(f"spans[{index}]: parent_id {parent!r} does not "
+                          "resolve within the document")
+    return errors
+
+
+def validate_alerts(payload) -> List[str]:
+    """Validate a ``repro.alerts/1`` document from ``--alerts-out``.
+
+    Checks rule and event shapes, that events reference declared rules,
+    that ``sequence`` ordinals increase monotonically (the byte-stable
+    ordering contract), and that the summary block is consistent with
+    the recorded events.
+    """
+    if not isinstance(payload, dict):
+        return [f"alerts must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") not in _ALERTS_SCHEMAS:
+        return [f"unknown alerts schema {payload.get('schema')!r}"]
+    errors: List[str] = []
+    rules = payload.get("rules")
+    if not isinstance(rules, list):
+        return errors + ["document has no 'rules' list"]
+    names = set()
+    for index, rule in enumerate(rules):
+        where = f"rules[{index}]"
+        if not isinstance(rule, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = rule.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing rule 'name'")
+        elif name in names:
+            errors.append(f"{where}: duplicate rule name {name!r}")
+        else:
+            names.add(name)
+        if not isinstance(rule.get("signal"), str):
+            errors.append(f"{where}: missing 'signal'")
+        if not isinstance(rule.get("threshold"), (int, float)):
+            errors.append(f"{where}: missing numeric 'threshold'")
+        if rule.get("severity") not in _ALERT_SEVERITIES:
+            errors.append(f"{where}: bad severity {rule.get('severity')!r}")
+    events = payload.get("events")
+    if not isinstance(events, list):
+        return errors + ["document has no 'events' list"]
+    last_sequence = 0
+    fired = 0
+    for index, event in enumerate(events):
+        where = f"events[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if event.get("alert") not in names:
+            errors.append(f"{where}: event for undeclared rule "
+                          f"{event.get('alert')!r}")
+        if event.get("state") not in _ALERT_STATES:
+            errors.append(f"{where}: bad state {event.get('state')!r}")
+        elif event["state"] == "firing":
+            fired += 1
+        if not isinstance(event.get("value"), (int, float)):
+            errors.append(f"{where}: missing numeric 'value'")
+        sequence = event.get("sequence")
+        if not isinstance(sequence, int) or sequence <= last_sequence:
+            errors.append(f"{where}: sequence {sequence!r} not "
+                          f"monotonically increasing (last {last_sequence})")
+        else:
+            last_sequence = sequence
+    summary = payload.get("summary")
+    if not isinstance(summary, dict):
+        errors.append("document has no 'summary' object")
+    else:
+        if summary.get("fired") != fired:
+            errors.append(f"summary.fired {summary.get('fired')!r} != "
+                          f"{fired} firing events")
+        firing = summary.get("firing")
+        if not isinstance(firing, list) or any(
+                name not in names for name in firing):
+            errors.append(f"summary.firing {firing!r} names undeclared rules")
+        if not isinstance(summary.get("page_fired"), bool):
+            errors.append("summary.page_fired is not a bool")
+    return errors
+
+
 _USAGE = ("usage: python -m repro.telemetry.validate "
-          "[--trace|--metrics|--stacks|--prometheus] <artifact>")
+          "[--trace|--metrics|--stacks|--prometheus|--spans|--alerts] "
+          "<artifact>")
 
 
 def _detect_kind(path: str, payload) -> str:
@@ -333,6 +489,10 @@ def _detect_kind(path: str, payload) -> str:
         schema = payload.get("schema")
         if schema in _STACK_SCHEMAS:
             return "stacks"
+        if schema in _SPANS_SCHEMAS:
+            return "spans"
+        if schema in _ALERTS_SCHEMAS:
+            return "alerts"
         if isinstance(schema, str) and schema.startswith("repro."):
             return "metrics"
     if (isinstance(payload, list) and payload
@@ -347,7 +507,8 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     kind = None
     flags = {"--trace": "trace", "--metrics": "metrics",
-             "--stacks": "stacks", "--prometheus": "prometheus"}
+             "--stacks": "stacks", "--prometheus": "prometheus",
+             "--spans": "spans", "--alerts": "alerts"}
     paths = []
     for token in argv:
         if token in flags:
@@ -405,6 +566,16 @@ def main(argv=None) -> int:
                       "list of objects"]
             count = 0
         noun = "thread stacks (conservation re-checked)"
+    elif kind == "spans":
+        errors = validate_spans(payload)
+        spans = payload.get("spans") if isinstance(payload, dict) else None
+        count = len(spans) if isinstance(spans, list) else 0
+        noun = "host spans"
+    elif kind == "alerts":
+        errors = validate_alerts(payload)
+        events = payload.get("events") if isinstance(payload, dict) else None
+        count = len(events) if isinstance(events, list) else 0
+        noun = "alert events"
     elif kind == "metrics":
         errors = validate_metrics_json(payload)
         count = payload.get("points", 1) if isinstance(payload, dict) else 0
