@@ -207,6 +207,55 @@ def test_accounting_disabled_overhead_under_two_percent():
     )
 
 
+def _force_untraced_requests(system):
+    """Strip every request-tracing hook, mirroring
+    ``attach_request_tracing`` — the reference engine baseline even if
+    tracing ever became default-on."""
+    system.request_tracer = None
+    for arbiters in system._vpc_arbiters.values():
+        for arbiter in arbiters:
+            arbiter._rtrace = None
+    for bank in system.banks:
+        bank._rtrace = None
+    for core in system.cores:
+        core._rtrace = None
+    for channel in system.memory.channels:
+        channel._rtrace = None
+    return system
+
+
+def test_requests_disabled_overhead_under_two_percent():
+    """The request-tracing analog of the guards above (ISSUE 9,
+    docs/ARCHITECTURE.md "Request tracing"): a default-constructed
+    system — tracing disabled — must run within 2% of the forcibly
+    untraced engine baseline.  Same interleaved min-of-rounds harness;
+    this trips if default construction ever attaches a RequestTracer
+    or a journey hook grows beyond its one ``is not None`` guard."""
+    def timed(system, cycles=2_000):
+        start = time.perf_counter()
+        system.run(cycles)
+        return time.perf_counter() - start
+
+    baseline_system = _force_untraced_requests(_fresh_system())
+    disabled_system = _fresh_system()
+    ratios = []
+    for _ in range(6):
+        baseline_total = disabled_total = 0.0
+        for chunk_index in range(10):
+            if chunk_index % 2 == 0:
+                baseline_total += timed(baseline_system)
+                disabled_total += timed(disabled_system)
+            else:
+                disabled_total += timed(disabled_system)
+                baseline_total += timed(baseline_system)
+        ratios.append(disabled_total / baseline_total)
+    assert min(ratios) <= 1.02, (
+        f"request-tracing-disabled engine is >2% slower than the "
+        f"untraced baseline in every round: ratios "
+        f"{[f'{r:.3f}' for r in ratios]}"
+    )
+
+
 def _serve_disabled_step(system, cycles, feed=None, on_window=None):
     """The exact control flow the live plane (``--serve``) adds to the
     hot drivers when it is *off*: None-guards around an unchanged

@@ -25,12 +25,13 @@ class LatencySummary:
     mean: float
     p50: float
     p95: float
+    p99: float
     maximum: int
 
     @staticmethod
     def of(samples: Sequence[int]) -> "LatencySummary":
         if not samples:
-            return LatencySummary(0, 0.0, 0.0, 0.0, 0)
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0)
         ordered = sorted(samples)
 
         def percentile(fraction: float) -> float:
@@ -42,6 +43,7 @@ class LatencySummary:
             mean=sum(ordered) / len(ordered),
             p50=percentile(0.50),
             p95=percentile(0.95),
+            p99=percentile(0.99),
             maximum=ordered[-1],
         )
 
@@ -120,10 +122,11 @@ def queueing_by_thread(
 
 def format_report(summaries: Dict[int, LatencySummary], title: str) -> str:
     lines = [title, f"{'thread':>7} {'count':>7} {'mean':>8} "
-                    f"{'p50':>7} {'p95':>7} {'max':>7}"]
+                    f"{'p50':>7} {'p95':>7} {'p99':>7} {'max':>7}"]
     for thread_id, summary in summaries.items():
         lines.append(
             f"{thread_id:>7} {summary.count:>7} {summary.mean:>8.1f} "
-            f"{summary.p50:>7.0f} {summary.p95:>7.0f} {summary.maximum:>7}"
+            f"{summary.p50:>7.0f} {summary.p95:>7.0f} "
+            f"{summary.p99:>7.0f} {summary.maximum:>7}"
         )
     return "\n".join(lines)

@@ -200,6 +200,8 @@ class CacheBank:
         self._trace = None
         # Cycle accounting (repro.telemetry.cycles): same contract.
         self._acct = None
+        # Request-scope tracer (repro.telemetry.requests): same contract.
+        self._rtrace = None
 
     # ------------------------------------------------------------------ #
     # Input side (called by the L2 when the crossbar delivers a request).
@@ -221,6 +223,8 @@ class CacheBank:
         else:
             if self._acct is not None:
                 self._acct.bank_accepted(request.thread_id, now)
+            if self._rtrace is not None:
+                self._rtrace.bank_accepted(request, now)
             self._load_q[request.thread_id].append(request)
 
     # ------------------------------------------------------------------ #
@@ -501,6 +505,8 @@ class CacheBank:
             self._mem_wait.append(sm)
             if self._acct is not None and sm.request.is_read:
                 self._acct.mem_queued(sm.thread_id, now)
+            if self._rtrace is not None and sm.request.is_read:
+                self._rtrace.mem_queued(sm.request, now)
         else:
             raise RuntimeError(f"unknown bank event kind {kind}")
 
@@ -523,6 +529,8 @@ class CacheBank:
             self._mem_wait.append(sm)
             if self._acct is not None and sm.request.is_read:
                 self._acct.mem_queued(sm.thread_id, now)
+            if self._rtrace is not None and sm.request.is_read:
+                self._rtrace.mem_queued(sm.request, now)
 
     def _data_done(self, sm: StateMachine, now: int) -> None:
         sm.request.data_done_cycle = now

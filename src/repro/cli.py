@@ -119,6 +119,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "measured cycle lands in exactly one CPI-stack "
                              "bucket); print the stacks, or write the "
                              "repro.cpi-stack/1 JSON to PATH when given")
+    parser.add_argument("--requests", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="attach request-scope tracing (per-request "
+                             "stage waterfalls, exact streaming "
+                             "p50/p95/p99/p999, worst-k exemplars); print "
+                             "the summary, or write the repro.requests/1 "
+                             "JSON to PATH when given")
+    parser.add_argument("--slo", default=None, metavar="SPEC",
+                        help="latency SLO targets for --requests: an "
+                             "integer (99%% of every thread's loads under "
+                             "N cycles) or a JSON/TOML rule file with an "
+                             "'slos' list")
     parser.add_argument("--checkpoint", default=None, metavar="PATH",
                         help="write a resumable checkpoint of the full "
                              "simulation to PATH every --checkpoint-every "
@@ -165,14 +177,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.report is not None or args.serve is not None
             or args.trace or args.histograms
             or args.cpi_stacks is not None
+            or args.requests is not None
             or args.spans is not None or args.alerts):
         parser.error("--resume-checkpoint continues the original run's "
                      "observability; --report/--serve/--trace/--histograms/"
-                     "--cpi-stacks/--spans/--alerts cannot be added mid-run "
-                     "(a checkpointed accounting attachment resumes "
-                     "automatically)")
+                     "--cpi-stacks/--requests/--spans/--alerts cannot be "
+                     "added mid-run (a checkpointed accounting attachment "
+                     "resumes automatically)")
     if args.alerts_out and not args.alerts:
         parser.error("--alerts-out requires --alerts")
+    if args.slo is not None and args.requests is None:
+        parser.error("--slo requires --requests")
+    slo_rules = ()
+    if args.slo is not None:
+        from repro.telemetry.requests import load_slo
+        try:
+            slo_rules = tuple(load_slo(args.slo))
+        except (OSError, ValueError) as error:
+            parser.error(f"--slo: {error}")
     resumed = None
     if args.resume_checkpoint:
         from repro.resilience import open_checkpoint
@@ -317,6 +339,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if resumed is None and args.cpi_stacks is not None:
         system.attach_cycle_accounting()
+    if resumed is None and args.requests is not None:
+        system.attach_request_tracing(slo_rules=slo_rules)
     monitor = None
     if resumed is None and observe and args.arbiter == "vpc":
         from repro.core.monitor import QoSMonitor
@@ -357,6 +381,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             if attributor is not None:
                 snapshot["attribution"] = attributor.snapshot()
                 snapshot["arbiter"] = args.arbiter
+            if system.request_tracer is not None:
+                snapshot["requests"] = system.request_tracer.document(cycle)
             live.put(("window", 0, worker, cycle, snapshot))
             if monitor is not None:
                 monitor.finish(cycle)
@@ -403,6 +429,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         result.metrics["arbiter"] = config.arbiter
     if result.metrics is not None and result.cpi_stacks is not None:
         result.metrics["cpi_stacks"] = result.cpi_stacks
+    if result.metrics is not None and result.requests is not None:
+        result.metrics["requests"] = result.requests
     if monitor is not None:
         monitor.finish(system.cycle)
     if live is not None:
@@ -442,6 +470,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 json.dump(stacks, handle, indent=2)
                 handle.write("\n")
             print(f"  cpi stacks -> {args.cpi_stacks}")
+
+    if args.requests is not None and result.requests is not None:
+        from repro.telemetry.requests import render_requests, write_requests
+        for line in render_requests(result.requests):
+            print(f"  {line}")
+        if args.requests != "-":
+            write_requests(args.requests, result.requests)
+            print(f"  requests -> {args.requests}")
 
     if args.metrics and result.metrics is None:
         print("  metrics: none collected (the resumed checkpoint was "
@@ -483,7 +519,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(histograms.format_report())
     if ring is not None:
         from repro.telemetry import write_chrome_trace
-        count = write_chrome_trace(args.trace, ring)
+        events = list(ring)
+        if system.request_tracer is not None:
+            # Worst-k exemplar waterfalls ride in the same trace file,
+            # flow-linked to the request spans on the thread timelines.
+            events.extend(system.request_tracer.exemplar_trace_events())
+        count = write_chrome_trace(args.trace, events)
         print(f"  trace: {count} events -> {args.trace} "
               "(open in ui.perfetto.dev)")
     if jsonl is not None:
@@ -496,6 +537,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             lineage["resumed_from"] = args.resume_checkpoint
         if args.checkpoint:
             lineage["checkpoint"] = args.checkpoint
+        if args.requests is not None:
+            lineage["request_tracing"] = {
+                "artifact": args.requests,
+                "slo": args.slo,
+                "exemplar_k": (system.request_tracer.exemplar_k
+                               if system.request_tracer is not None else None),
+            }
         if server is not None:
             # Record the (possibly auto-assigned via --serve 0) address
             # so artifacts point back at the endpoint that served them.

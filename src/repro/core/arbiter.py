@@ -68,7 +68,7 @@ class Arbiter(ABC):
     """
 
     __slots__ = ("n_threads", "service_latency", "grants", "_trace",
-                 "trace_name", "_acct", "acct_stage")
+                 "trace_name", "_acct", "acct_stage", "_rtrace")
 
     def __init__(self, n_threads: int, service_latency: int = 1) -> None:
         if n_threads < 1:
@@ -86,6 +86,8 @@ class Arbiter(ABC):
         # None when disabled, like _trace.
         self._acct = None
         self.acct_stage = ""
+        # Request-scope tracer (repro.telemetry.requests): same contract.
+        self._rtrace = None
 
     @abstractmethod
     def enqueue(self, entry: ArbiterEntry, now: int) -> None:
@@ -140,6 +142,8 @@ class FCFSArbiter(Arbiter):
             self._emit_enqueue(entry, now, self._pending[entry.thread_id])
         if self._acct is not None:
             self._acct.arbiter_queued(self.acct_stage, entry, now)
+        if self._rtrace is not None:
+            self._rtrace.arbiter_queued(self.acct_stage, entry, now)
 
     def select(self, now: int) -> Optional[ArbiterEntry]:
         if not self._queue:
@@ -151,6 +155,8 @@ class FCFSArbiter(Arbiter):
             self._emit_grant(entry, now, self._pending[entry.thread_id])
         if self._acct is not None:
             self._acct.arbiter_granted(self.acct_stage, entry, now)
+        if self._rtrace is not None:
+            self._rtrace.arbiter_granted(self.acct_stage, entry, now)
         return entry
 
     def __len__(self) -> int:
@@ -188,6 +194,8 @@ class RoWFCFSArbiter(Arbiter):
             self._emit_enqueue(entry, now, self._pending[entry.thread_id])
         if self._acct is not None:
             self._acct.arbiter_queued(self.acct_stage, entry, now)
+        if self._rtrace is not None:
+            self._rtrace.arbiter_queued(self.acct_stage, entry, now)
 
     def select(self, now: int) -> Optional[ArbiterEntry]:
         if self._reads:
@@ -202,6 +210,8 @@ class RoWFCFSArbiter(Arbiter):
             self._emit_grant(entry, now, self._pending[entry.thread_id])
         if self._acct is not None:
             self._acct.arbiter_granted(self.acct_stage, entry, now)
+        if self._rtrace is not None:
+            self._rtrace.arbiter_granted(self.acct_stage, entry, now)
         return entry
 
     def __len__(self) -> int:

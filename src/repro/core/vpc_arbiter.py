@@ -139,6 +139,8 @@ class VPCArbiter(Arbiter):
             ))
         if self._acct is not None:
             self._acct.arbiter_queued(self.acct_stage, entry, now)
+        if self._rtrace is not None:
+            self._rtrace.arbiter_queued(self.acct_stage, entry, now)
 
     def select(self, now: int) -> Optional[ArbiterEntry]:
         # Hot path: this runs on every grant of every shared resource.
@@ -211,6 +213,8 @@ class VPCArbiter(Arbiter):
             ))
         if self._acct is not None:
             self._acct.arbiter_granted(self.acct_stage, best_entry, now)
+        if self._rtrace is not None:
+            self._rtrace.arbiter_granted(self.acct_stage, best_entry, now)
         return best_entry
 
     def _pick_within_thread(self, buffer: Deque[ArbiterEntry]) -> ArbiterEntry:

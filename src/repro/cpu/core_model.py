@@ -66,6 +66,8 @@ class CoreModel:
         self._quiet = False
         # Cycle-accounting sink (None when disabled; see telemetry.cycles).
         self._acct = None
+        # Request-scope tracer (None when disabled; telemetry.requests).
+        self._rtrace = None
         # Prefetch statistics (prefetching is off unless configured).
         self.prefetches_issued = 0
         self.prefetches_useful = 0
@@ -181,6 +183,8 @@ class CoreModel:
             request = make_request(
                 self.core_id, addr, AccessType.READ, self._line_size, seq, now
             )
+            if self._rtrace is not None:
+                self._rtrace.issued(request, now)
             self._send(self.core_id, request, now)
             if self.config.prefetch_enabled:
                 self._issue_prefetches(line, now)

@@ -96,6 +96,15 @@ _lanes = 1
 # home over the same wire.  Reset by every configure() like the
 # observers; None keeps every producer at a single is-not-None test.
 _spans = None
+# Request-scope tracing (repro.telemetry.requests): when True every
+# single-threaded-per-core point runs with a RequestTracer attached and
+# the per-thread tail-latency document rides back on
+# SimulationResult.requests (and, when metrics are also on, inside the
+# metrics snapshot as "requests" so aggregates and report cards carry
+# it).  _slo is the tuple of SLORule declarations evaluated into each
+# document.  Reset by every configure() like the observers.
+_requests = False
+_slo: Tuple = ()
 
 #: hits/misses observability (tests assert on this; reset via configure).
 cache_stats: Dict[str, int] = {"hits": 0, "misses": 0}
@@ -118,6 +127,8 @@ def configure(
     lanes: Optional[int] = None,
     cpi_stacks: bool = False,
     spans=None,
+    requests: bool = False,
+    slo: Sequence = (),
 ) -> None:
     """Set the process-wide execution policy (``jobs=0`` → all CPUs).
 
@@ -140,6 +151,12 @@ def configure(
     :class:`~repro.telemetry.spans.SpanContext` so their spans stream
     home over the feed channel.  Reset by every call like the observers.
 
+    ``requests`` enables per-request latency tracing
+    (:mod:`repro.telemetry.requests`) on every point whose cores run one
+    hardware thread each; ``slo`` is a sequence of
+    :class:`~repro.telemetry.requests.SLORule` evaluated into each
+    point's document.  Like the observers both are reset by every call.
+
     ``kernel`` selects the simulation kernel every point runs under
     (``cycle``/``event``/``batch`` — bit-identical, wall time only).
     ``lanes`` enables the in-process lockstep driver: K points advance
@@ -150,6 +167,7 @@ def configure(
     """
     global _jobs, _cache_enabled, _progress, _telemetry, _metrics_window
     global _live, _resilience, _kernel, _lanes, _cpi_stacks, _spans
+    global _requests, _slo
     if jobs is not None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
@@ -180,6 +198,12 @@ def configure(
         raise ValueError(f"metrics window must be >= 1 cycle, got {metrics}")
     if live is not None and metrics is None:
         raise ValueError("live streaming requires a metrics window")
+    if slo and not requests:
+        raise ValueError("SLO rules require request tracing")
+    if requests and resilience is not None:
+        raise ValueError("the resilient fleet does not carry request "
+                         "traces across checkpoints; drop --requests or "
+                         "the run dir")
     _progress = progress
     _telemetry = telemetry
     _metrics_window = metrics
@@ -187,6 +211,8 @@ def configure(
     _resilience = resilience
     _cpi_stacks = cpi_stacks
     _spans = spans
+    _requests = requests
+    _slo = tuple(slo)
     cache_stats["hits"] = 0
     cache_stats["misses"] = 0
     metrics_log.clear()
@@ -238,6 +264,11 @@ def configured_lanes() -> int:
 def configured_cpi_stacks() -> bool:
     """Whether per-point cycle accounting is enabled for this process."""
     return _cpi_stacks
+
+
+def configured_requests() -> bool:
+    """Whether per-point request tracing is enabled for this process."""
+    return _requests
 
 
 @dataclass(frozen=True)
@@ -336,6 +367,8 @@ def run_point(
     kernel: Optional[str] = None,
     cpi_stacks: bool = False,
     span_ctx=None,
+    requests: bool = False,
+    slo_rules: Sequence = (),
 ) -> SimulationResult:
     """Simulate one point from scratch (no cache involvement).
 
@@ -365,6 +398,12 @@ def run_point(
     (requires ``feed``): the point's simulation is wrapped in a worker-
     side host-time span that streams home as a ``("span", ...)`` tuple,
     parented under the parent-side span that scheduled this point.
+
+    ``requests`` attaches per-request latency tracing (skipped for SMT
+    points — journeys assume one thread per core); the tail-latency
+    document returns on ``SimulationResult.requests`` and — when
+    metrics are also collected — is mirrored into the metrics snapshot
+    as ``"requests"``.  ``slo_rules`` are evaluated into the document.
     """
     if feed is not None and metrics_window is None:
         raise ValueError("a live feed requires a metrics window")
@@ -384,6 +423,8 @@ def run_point(
     system = _point_system(point, traces, kernel)
     if cpi_stacks:
         system.attach_cycle_accounting()
+    if requests and point.smt_degree == 1:
+        system.attach_request_tracing(slo_rules=slo_rules)
     metrics, attributor = _point_observers(system, point, metrics_window)
     on_window = None
     monitor = None
@@ -403,6 +444,8 @@ def run_point(
             if system.cycle_accounting is not None:
                 snapshot["cpi_stacks"] = system.cycle_accounting.snapshot(
                     cycle)
+            if system.request_tracer is not None:
+                snapshot["requests"] = system.request_tracer.document(cycle)
             feed.put(("window", index, worker, cycle, snapshot))
             if monitor is not None:
                 # Window boundaries close lazily on events; force the
@@ -438,6 +481,8 @@ def run_point(
         result.metrics["arbiter"] = point.config.arbiter
         if result.cpi_stacks is not None:
             result.metrics["cpi_stacks"] = result.cpi_stacks
+        if result.requests is not None:
+            result.metrics["requests"] = result.requests
     if monitor is not None:
         monitor.finish(system.cycle)
         for violation in monitor.violations[violations_sent:]:
@@ -464,7 +509,8 @@ class _Lane:
 
 
 def _run_lockstep(points, todo, lanes, kernel, metrics_window,
-                  finish, wall_us, cpi_stacks: bool = False) -> None:
+                  finish, wall_us, cpi_stacks: bool = False,
+                  requests: bool = False, slo_rules: Sequence = ()) -> None:
     """Advance up to ``lanes`` points chunk-by-chunk in one process.
 
     Each lane replicates :func:`repro.system.simulator.run_simulation`'s
@@ -512,6 +558,10 @@ def _run_lockstep(points, todo, lanes, kernel, metrics_window,
             # Mirrors run_simulation's post-warmup rebase so a lane's
             # stacks cover exactly the measurement interval.
             system.cycle_accounting.rebase(system.cycle)
+        if system.request_tracer is not None:
+            # Same rebase for request tracing: warmup retirements drop,
+            # in-flight journeys carry over measurement-relative.
+            system.request_tracer.rebase(system.cycle)
         if lane.metrics is not None:
             lane.metrics.sample(system)
 
@@ -534,6 +584,8 @@ def _run_lockstep(points, todo, lanes, kernel, metrics_window,
         lane.system = _point_system(point, traces, kernel)
         if cpi_stacks:
             lane.system.attach_cycle_accounting()
+        if requests and point.smt_degree == 1:
+            lane.system.attach_request_tracing(slo_rules=slo_rules)
         lane.metrics, lane.attributor = _point_observers(
             lane.system, point, metrics_window)
         lane.warm_left = point.warmup
@@ -580,6 +632,8 @@ def _run_lockstep(points, todo, lanes, kernel, metrics_window,
             result.metrics["arbiter"] = lane.point.config.arbiter
             if result.cpi_stacks is not None:
                 result.metrics["cpi_stacks"] = result.cpi_stacks
+            if result.requests is not None:
+                result.metrics["requests"] = result.requests
         finish(lane.index, result, lane.started_us)
         load(slot)
 
@@ -685,6 +739,8 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
     live = _live
     base = live.begin_batch(len(points)) if live is not None else 0
     cpi_stacks = _cpi_stacks
+    requests = _requests
+    slo = _slo
     spans = _spans
     batch_span = None
     open_points: Dict[int, object] = {}
@@ -694,8 +750,10 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
     # Metrics runs bypass the cache entirely: cached results carry no
     # snapshots, and polluting the cache with observed runs would make
     # hit results depend on observability settings.  Cycle-accounted
-    # runs bypass it for the same reason (stacks are observability).
-    use_cache = _cache_enabled and metrics_window is None and not cpi_stacks
+    # and request-traced runs bypass it for the same reason (stacks and
+    # tail-latency documents are observability).
+    use_cache = (_cache_enabled and metrics_window is None
+                 and not cpi_stacks and not requests)
     batch_t0 = time.monotonic()
 
     def wall_us() -> int:
@@ -789,7 +847,9 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
                                         base + index,
                                         kernel=_kernel,
                                         cpi_stacks=cpi_stacks,
-                                        span_ctx=span_ctx)] = (
+                                        span_ctx=span_ctx,
+                                        requests=requests,
+                                        slo_rules=slo)] = (
                         index, wall_us()
                     )
                 while pending:
@@ -815,7 +875,8 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
                 manager.shutdown()
     elif _lanes > 1 and len(todo) > 1:
         _run_lockstep(points, todo, _lanes, _kernel, metrics_window,
-                      finish, wall_us, cpi_stacks=cpi_stacks)
+                      finish, wall_us, cpi_stacks=cpi_stacks,
+                      requests=requests, slo_rules=slo)
     else:
         for index in todo:
             span_ctx = None
@@ -828,7 +889,8 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
             finish(index, run_point(points[index], metrics_window, live,
                                     base + index, kernel=_kernel,
                                     cpi_stacks=cpi_stacks,
-                                    span_ctx=span_ctx),
+                                    span_ctx=span_ctx,
+                                    requests=requests, slo_rules=slo),
                    wall_us())
     if spans is not None:
         spans.end(batch_span)

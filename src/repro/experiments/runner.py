@@ -12,8 +12,12 @@ completion and ETA on stderr, ``--trace PATH`` captures the runner's
 orchestration events as a Chrome/Perfetto trace, ``--spans PATH``
 traces the host-time orchestration layer, ``--alerts RULES`` evaluates
 declarative alert rules against the live stream (a fired
-``severity=page`` rule exits nonzero), and ``--manifest [DIR]`` writes
-each experiment's provenance record next to the output.
+``severity=page`` rule exits nonzero), ``--requests [DIR]`` attaches
+per-request latency tracing to every point (exact tail quantiles,
+worst-k exemplar waterfalls, and ``--slo SPEC`` attainment; the
+per-point ``repro.requests/1`` documents land in DIR), and
+``--manifest [DIR]`` writes each experiment's provenance record next
+to the output.
 
 Resilience (see docs/ARCHITECTURE.md "Resilience"): ``--run-dir DIR``
 routes execution through the journaled fault-tolerant fleet —
@@ -159,6 +163,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write <exp_id>.stacks.json (the per-point "
                              "CPI-stack documents) into DIR (default: "
                              "current directory; requires --cpi-stacks)")
+    parser.add_argument("--requests", nargs="?", const=".", default=None,
+                        metavar="DIR",
+                        help="attach per-request latency tracing to every "
+                             "point: exact tail quantiles, worst-k "
+                             "exemplar waterfalls, and SLO attainment "
+                             "ride the metrics aggregate and report "
+                             "cards; write <exp_id>.requests.json (the "
+                             "per-point documents) into DIR (default: "
+                             "current directory; implies metrics "
+                             "collection)")
+    parser.add_argument("--slo", default=None, metavar="SPEC",
+                        help="latency SLO rules evaluated into every "
+                             "traced document: an integer cycle "
+                             "threshold shorthand or a JSON/TOML rules "
+                             "file (requires --requests)")
     parser.add_argument("--history", default=None, metavar="PATH",
                         help="append one run-history ledger entry per "
                              "experiment (manifest + headline metrics + "
@@ -243,6 +262,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--stacks requires --cpi-stacks")
     if args.alerts_out and not args.alerts:
         parser.error("--alerts-out requires --alerts")
+    slo_rules = ()
+    if args.slo is not None:
+        if args.requests is None:
+            parser.error("--slo requires --requests")
+        from repro.telemetry.requests import load_slo
+        try:
+            slo_rules = tuple(load_slo(args.slo))
+        except (OSError, ValueError) as error:
+            parser.error(f"--slo: {error}")
+    if args.requests is not None and run_dir is not None:
+        parser.error("--requests cannot ride the resilient fleet; drop "
+                     "--run-dir/--resume")
     tracer = None
     if args.spans is not None:
         from repro.telemetry.spans import SpanTracer
@@ -256,9 +287,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     metrics_window = None
     if (args.metrics is not None or args.report is not None
             or args.serve is not None or args.cpi_stacks
+            or args.requests is not None
             or args.history is not None or engine is not None):
-        # Cycle accounting, the history ledger, and alert evaluation
-        # all ride the metrics aggregate, so each implies collection.
+        # Cycle accounting, request tracing, the history ledger, and
+        # alert evaluation all ride the metrics aggregate, so each
+        # implies collection.
         metrics_window = args.metrics_window
     live = server = None
     if args.serve is not None or engine is not None:
@@ -290,7 +323,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                        resilience=resilience,
                        kernel=args.kernel or "event",
                        lanes=args.lanes, cpi_stacks=args.cpi_stacks,
-                       spans=tracer)
+                       spans=tracer,
+                       requests=args.requests is not None, slo=slo_rules)
 
     if args.list or not args.experiments:
         for exp_id in sorted(REGISTRY):
@@ -353,8 +387,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.profile:
         from repro.common.profiling import start_profile
         profiler = start_profile()
-    manifest_extra = ({"serve_url": server.url}
-                      if server is not None else None)
+    manifest_extra = {}
+    if server is not None:
+        manifest_extra["serve_url"] = server.url
+    if args.requests is not None:
+        # Provenance: the run was request-traced, under which SLO spec.
+        manifest_extra["request_tracing"] = {
+            "artifact_dir": args.requests,
+            "slo": args.slo,
+        }
+    manifest_extra = manifest_extra or None
     try:
         for exp_id in requested:
             started = time.time()
@@ -393,6 +435,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 path.parent.mkdir(parents=True, exist_ok=True)
                 path.write_text(json.dumps(docs, indent=2) + "\n")
                 print(f"stacks -> {path} ({len(docs)} point stacks)")
+            if args.requests is not None and result.metrics is not None:
+                import json
+                docs = [
+                    snap["requests"]
+                    for snap in result.metrics["per_point"]
+                    if snap.get("requests")
+                ]
+                path = Path(args.requests) / f"{exp_id}.requests.json"
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(json.dumps(docs, indent=2) + "\n")
+                print(f"requests -> {path} ({len(docs)} point documents)")
             if args.history is not None and result.metrics is not None:
                 from repro.telemetry.history import (
                     append_entry,

@@ -89,6 +89,15 @@ class MemoryController:
             if self._shared is None:
                 channel.acct_tid = index // self.config.channels_per_thread
 
+    def attach_rtrace(self, rtrace) -> None:
+        """Point every channel at the request tracer (requests.py).
+        Reuses ``acct_tid`` — the owning-thread index has identical
+        semantics for both sinks."""
+        for index, channel in enumerate(self.channels):
+            channel._rtrace = rtrace
+            if self._shared is None:
+                channel.acct_tid = index // self.config.channels_per_thread
+
     def _channel(self, thread_id: int) -> DRAMChannel:
         if not 0 <= thread_id < self.n_threads:
             raise ValueError(f"thread {thread_id} out of range")

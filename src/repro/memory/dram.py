@@ -50,6 +50,8 @@ class DRAMChannel:
         # Cycle accounting (private channel => one owning thread).
         self._acct = None
         self.acct_tid = -1
+        # Request-scope tracer (repro.telemetry.requests): same contract.
+        self._rtrace = None
 
     # ------------------------------------------------------------------ #
     # Admission (capacity checks model the controller's buffers).
@@ -120,6 +122,8 @@ class DRAMChannel:
             ))
         if self._acct is not None and not is_write and access.tracked:
             self._acct.dram_issued(self.acct_tid, now)
+        if self._rtrace is not None and not is_write and access.tracked:
+            self._rtrace.dram_issued(self.acct_tid, access.line, now)
         if access.notify is not None:
             access.notify(data_end)
         return True

@@ -83,6 +83,8 @@ class SharedDRAMChannel:
         self.trace_name = "dram.shared"
         # Cycle accounting; shared channel charges access.thread_id.
         self._acct = None
+        # Request-scope tracer (repro.telemetry.requests): same contract.
+        self._rtrace = None
 
     # ------------------------------------------------------------------ #
     # Admission: the per-thread transaction/write buffers still apply.
@@ -213,6 +215,8 @@ class SharedDRAMChannel:
             ))
         if self._acct is not None and access.tracked and not access.is_write:
             self._acct.dram_issued(access.thread_id, now)
+        if self._rtrace is not None and access.tracked and not access.is_write:
+            self._rtrace.dram_issued(access.thread_id, access.line, now)
         if access.notify is not None:
             access.notify(data_end)
         return True

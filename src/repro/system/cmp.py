@@ -84,6 +84,8 @@ class CMPSystem:
         # Cycle accounting (telemetry.cycles): attached on demand, None
         # when disabled — same contract as the telemetry bus.
         self.cycle_accounting = None
+        # Request-scope tracing (telemetry.requests): same contract.
+        self.request_tracer = None
 
         self.registers = VPCControlRegisters(config.n_threads)
         self.registers.load_allocation(
@@ -250,6 +252,40 @@ class CMPSystem:
             acct.dram_service_tracked = False
         return acct
 
+    def attach_request_tracing(self, tracer=None, exemplar_k: int = 8,
+                               slo_rules=()):
+        """Enable request-scope tracing: point every hooked component
+        (cores, banks, tag/data/bus arbiters, DRAM channels) at one
+        :class:`~repro.telemetry.requests.RequestTracer`.  Same
+        zero-overhead-when-disabled contract as
+        :meth:`attach_cycle_accounting`; the tracer state rides the
+        system object graph through checkpoints.
+        """
+        from repro.telemetry.requests import RequestTracer
+        if self.smt_degree != 1:
+            raise ValueError(
+                "request tracing supports one hardware thread per core "
+                "(smt_degree == 1); SMT attribution is not modelled yet"
+            )
+        if tracer is None:
+            tracer = RequestTracer(self.config.n_threads,
+                                   exemplar_k=exemplar_k,
+                                   slo_rules=tuple(slo_rules))
+        self.request_tracer = tracer
+        for kind in ("tag", "data", "bus"):
+            for arbiter in self._vpc_arbiters[kind]:
+                arbiter._rtrace = tracer
+                arbiter.acct_stage = kind
+        for bank in self.banks:
+            bank._rtrace = tracer
+        for core in self.cores:
+            core._rtrace = tracer
+        if self.l3 is None:
+            # With an L3 in front of memory the DRAM channels stay
+            # unhooked and below-L2 time remains one dram_queue segment.
+            self.memory.attach_rtrace(tracer)
+        return tracer
+
     def _now(self) -> int:
         """Clock callable for components whose interfaces carry no
         timestamp (replacement policies)."""
@@ -326,6 +362,8 @@ class CMPSystem:
             ))
         if self.cycle_accounting is not None and request.is_read:
             self.cycle_accounting.responded(request.thread_id, now)
+        if self.request_tracer is not None and request.is_read:
+            self.request_tracer.responded(request, now)
         self.crossbar.send_response(request.thread_id, request, now)
 
     # ------------------------------------------------------------------ #

@@ -40,6 +40,9 @@ class SimulationResult:
     # Per-thread CPI-stack document (repro.telemetry.cycles) when cycle
     # accounting was attached to the system; None otherwise.
     cpi_stacks: Optional[Dict] = None
+    # Request-tracing document (repro.telemetry.requests) when a request
+    # tracer was attached to the system; None otherwise.
+    requests: Optional[Dict] = None
 
     @property
     def write_fraction(self) -> float:
@@ -128,6 +131,9 @@ def run_simulation(
         # Stacks cover exactly the measurement interval, like every
         # other reported statistic.
         system.cycle_accounting.rebase(system.cycle)
+    if system.request_tracer is not None:
+        # Request summaries likewise cover the measurement interval.
+        system.request_tracer.rebase(system.cycle)
 
     n_threads = system.config.n_threads
     state = MeasureState(
@@ -226,6 +232,10 @@ def _finalize(system: CMPSystem, state: MeasureState,
         cpi_stacks=(
             system.cycle_accounting.snapshot(system.cycle)
             if system.cycle_accounting is not None else None
+        ),
+        requests=(
+            system.request_tracer.document(system.cycle)
+            if system.request_tracer is not None else None
         ),
         utilizations=avg_utils,
         bank_utilizations=bank_utils,

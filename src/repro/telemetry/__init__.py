@@ -52,6 +52,18 @@ from .manifest import RunManifest, config_hash, git_sha
 from .metrics import MetricsCollector, merge_snapshots, to_prometheus
 from .perfetto import chrome_trace, write_chrome_trace
 from .progress import ProgressReporter
+from .requests import (
+    REQUESTS_SCHEMA,
+    SEGMENTS,
+    RequestTracer,
+    SLORule,
+    StreamingLatencies,
+    load_slo,
+    render_requests,
+    slo_burn,
+    verify_requests,
+    write_requests,
+)
 from .report import (
     build_report_card,
     merge_report_cards,
@@ -84,6 +96,9 @@ __all__ = [
     "LiveRun", "TelemetryServer",
     "SpanContext", "SpanTracer", "write_spans",
     "AlertEngine", "AlertRule", "load_rules", "write_alerts",
+    "REQUESTS_SCHEMA", "SEGMENTS", "RequestTracer", "SLORule",
+    "StreamingLatencies", "load_slo", "render_requests", "slo_burn",
+    "verify_requests", "write_requests",
     "FleetAggregator", "FleetServer", "merge_fleet",
     "validate_chrome_trace",
 ]

@@ -34,7 +34,11 @@ Signals (see docs/ARCHITECTURE.md for the full table):
   counters (events, or a worker's ``/healthz`` resilience block);
 * ``stale_workers`` — workers past the heartbeat staleness threshold;
 * ``bench_regression`` — fractional throughput drop vs the most
-  recent run-history ledger entry for the same experiment (PR 7).
+  recent run-history ledger entry for the same experiment (PR 7);
+* ``slo_burn`` — the worst SLO error-budget burn rate across the
+  request tracer's rules and threads (1.0 = exactly on target, >1.0 =
+  budget burning too fast; needs ``--requests --slo`` so window
+  snapshots embed a ``repro.requests/1`` document).
 
 ``for_windows`` is the burn-rate guard: the rule fires only after that
 many *consecutive* breaching evaluations, fires exactly once per
@@ -55,7 +59,7 @@ SEVERITIES = ("warn", "page")
 OPS = (">", ">=", "<", "<=")
 SIGNALS = (
     "slowdown", "fairness", "ipc", "violations", "retries", "excluded",
-    "stale_workers", "bench_regression",
+    "stale_workers", "bench_regression", "slo_burn",
 )
 
 #: Signals evaluated from counters/health rather than window series.
@@ -297,6 +301,11 @@ class AlertEngine:
             elif rule.signal == "ipc":
                 value = _last_across(series.get("ipc"), rule.thread,
                                      worst=min)
+                if value is not None:
+                    emitted += self._check_state(state, value)
+            elif rule.signal == "slo_burn":
+                from repro.telemetry.requests import slo_burn
+                value = slo_burn(snapshot.get("requests"))
                 if value is not None:
                     emitted += self._check_state(state, value)
         return emitted

@@ -24,6 +24,7 @@ from collections import deque
 from typing import IO, Iterable, List, Optional, Protocol, runtime_checkable
 
 from .events import TraceEvent
+from .requests import StreamingLatencies
 
 
 @runtime_checkable
@@ -109,15 +110,25 @@ class JsonlSink:
 
 
 class RequestLogSink:
-    """Collects retired read requests, in retirement order.
+    """Collects retired read requests, in retirement order — bounded.
 
     Backs the legacy ``CMPSystem.request_log`` API: the analysis helpers
     (`repro.analysis.latency`) consume the stamped ``MemoryRequest``
-    objects that ride on request-end events.
+    objects that ride on request-end events.  The log keeps the *first*
+    ``capacity`` retirements (so results are identical to the old
+    unbounded list on any run that fits the bound) and counts the rest
+    in ``dropped``; exact streaming per-thread latency summaries and a
+    worst-k exemplar reservoir (``summary``) cover *every* demand load
+    regardless of the bound, so tail quantiles never truncate.
     """
 
-    def __init__(self):
+    def __init__(self, capacity: int = 100_000, exemplar_k: int = 8):
+        if capacity < 0:
+            raise ValueError("request-log capacity must be >= 0")
+        self.capacity = capacity
         self.requests: list = []
+        self.dropped = 0
+        self.summary = StreamingLatencies(exemplar_k)
 
     def emit(self, event: TraceEvent) -> None:
         if event.category != "request" or event.phase != "e":
@@ -126,8 +137,21 @@ class RequestLogSink:
         if args is None:
             return
         request = args.get("request")
-        if request is not None and request.is_read:
+        if request is None or not request.is_read:
+            return
+        if len(self.requests) < self.capacity:
             self.requests.append(request)
+        else:
+            self.dropped += 1
+        if (not request.is_prefetch and request.issued_cycle >= 0
+                and request.critical_word_cycle >= 0):
+            latency = request.critical_word_cycle - request.issued_cycle
+            self.summary.add(request.thread_id, latency, {
+                "seq": request.seq,
+                "line": request.line,
+                "issued_cycle": request.issued_cycle,
+                "latency": latency,
+            })
 
 
 class CategoryFilterSink:

@@ -76,9 +76,13 @@ def _thread_rows(point: Dict) -> List[str]:
     series = point.get("series", {})
     ipc_series = series.get("ipc")
     targets = point.get("baseline_ipcs")
+    requests = point.get("requests") or {}
+    request_rows = requests.get("threads")
     header = "  thread   ipc(now)   ipc(run)"
     if targets:
         header += "     target       norm  qos"
+    if request_rows:
+        header += "   p99(cyc)"
     rows = [header]
     for tid in range(n):
         now_ipc = _last(ipc_series[tid]) if ipc_series else 0.0
@@ -89,6 +93,11 @@ def _thread_rows(point: Dict) -> List[str]:
             norm = run_ipc / target if target > 0 else 0.0
             verdict = "met" if norm >= 1.0 else "LOW"
             row += f"  {target:>9.4f}  {norm:>9.4f}  {verdict:>3}"
+        if request_rows:
+            p99 = None
+            if tid < len(request_rows):
+                p99 = (request_rows[tid].get("quantiles") or {}).get("p99")
+            row += f"  {'-' if p99 is None else p99:>9}"
         rows.append(row)
     return rows
 

@@ -10,7 +10,10 @@ it can watch arbitrarily long runs.
 Exact ``count`` / ``mean`` / ``max`` are maintained alongside the
 buckets; percentiles are bucket-resolution approximations (reported as
 the upper bound of the bucket containing the requested rank, i.e.
-within 2x of the true value).
+within 2x of the true value) and are printed with a ``~`` prefix to
+distinguish them from the *exact* streaming quantiles that
+``repro.telemetry.requests.StreamingLatencies`` computes from its
+cycle-resolution counts.
 """
 
 from __future__ import annotations
@@ -97,12 +100,13 @@ class LatencyHistogramSink:
     def format_report(self) -> str:
         lines = [
             f"{'thread':>7} {'stage':>10} {'count':>7} {'mean':>8} "
-            f"{'~p50':>7} {'~p95':>7} {'max':>7}"
+            f"{'~p50':>7} {'~p95':>7} {'~p99':>7} {'max':>7}"
         ]
         for (tid, stage), hist in sorted(self.histograms.items()):
             lines.append(
                 f"{tid:>7} {stage:>10} {hist.count:>7} {hist.mean:>8.1f} "
                 f"{hist.percentile(0.50):>7.0f} "
-                f"{hist.percentile(0.95):>7.0f} {hist.maximum:>7}"
+                f"{hist.percentile(0.95):>7.0f} "
+                f"{hist.percentile(0.99):>7.0f} {hist.maximum:>7}"
             )
         return "\n".join(lines)

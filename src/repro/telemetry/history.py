@@ -62,6 +62,15 @@ def build_entry(
             }
             if snap.get("cpi_stacks"):
                 kept["cpi_stacks"] = snap["cpi_stacks"]
+            requests = snap.get("requests")
+            if requests:
+                # Tail-latency slice only: per-thread p99 (exact
+                # streaming quantile), so ``repro diff`` can show tail
+                # movement without storing the full document.
+                kept["request_p99"] = [
+                    (row.get("quantiles") or {}).get("p99")
+                    for row in requests.get("threads", ())
+                ]
             per_point.append(kept)
         entry["per_point"] = per_point
     return entry
@@ -118,6 +127,25 @@ def _entry_stacks(entry: Dict) -> Dict[str, List[int]]:
     return groups
 
 
+def _entry_p99(entry: Dict) -> Dict[str, List]:
+    """Worst per-thread p99 load latency per arbiter group."""
+    groups: Dict[str, List] = {}
+    for snap in entry.get("per_point", ()):
+        p99s = snap.get("request_p99")
+        if not p99s:
+            continue
+        name = str(snap.get("arbiter") or "?")
+        if snap.get("n_threads") == 1:
+            name = "solo"
+        row = groups.setdefault(name, [None] * len(p99s))
+        for tid, value in enumerate(p99s):
+            if value is None or tid >= len(row):
+                continue
+            if row[tid] is None or value > row[tid]:
+                row[tid] = value
+    return groups
+
+
 def render_history(entries: Sequence[Dict], last: int = 20) -> List[str]:
     """The ``repro history`` table: newest runs last, one line each."""
     if not entries:
@@ -157,7 +185,7 @@ def diff_entries(a: Dict, b: Dict) -> Dict:
     stacks_a = _entry_stacks(a)
     stacks_b = _entry_stacks(b)
     groups = sorted(set(stacks_a) & set(stacks_b))
-    return {
+    diff = {
         "schema": "repro.run-history-diff/1",
         "a": a.get("exp_id", "?"),
         "b": b.get("exp_id", "?"),
@@ -172,6 +200,22 @@ def diff_entries(a: Dict, b: Dict) -> Dict:
             for name in groups
         },
     }
+    p99_a = _entry_p99(a)
+    p99_b = _entry_p99(b)
+    tail = {}
+    for name in sorted(set(p99_a) & set(p99_b)):
+        rows_a, rows_b = p99_a[name], p99_b[name]
+        tail[name] = {
+            "a": rows_a,
+            "b": rows_b,
+            "delta": [
+                vb - va if va is not None and vb is not None else None
+                for va, vb in zip(rows_a, rows_b)
+            ],
+        }
+    if tail:
+        diff["p99"] = tail
+    return diff
 
 
 def render_diff(diff: Dict) -> List[str]:
@@ -181,7 +225,8 @@ def render_diff(diff: Dict) -> List[str]:
     if not groups:
         lines.append("  (no comparable CPI stacks in both entries; run "
                      "both with --cpi-stacks)")
-        return lines
+        if not diff.get("p99"):
+            return lines
     buckets = diff.get("buckets", BUCKETS)
     for name, data in groups.items():
         lines.append(f"  [{name}]")
@@ -198,6 +243,17 @@ def render_diff(diff: Dict) -> List[str]:
                                for cell, width in zip(row, widths))
             for row in rows
         )
+    tail = diff.get("p99") or {}
+    if tail:
+        lines.append("  p99 load latency (cycles) per thread:")
+        for name, data in tail.items():
+            cells = []
+            for tid, (va, vb) in enumerate(zip(data["a"], data["b"])):
+                if va is None or vb is None:
+                    continue
+                cells.append(f"t{tid}: {va} -> {vb} ({vb - va:+d})")
+            if cells:
+                lines.append(f"    [{name}] " + "  ".join(cells))
     return lines
 
 

@@ -448,6 +448,24 @@ def _expose_point(snapshot: Dict, base: Dict, fam: _Families) -> None:
                         "CPI-stack bucket per thread (buckets sum exactly "
                         "to measured cycles)",
                         labelled(thread=tid, bucket=bucket), value)
+    requests = snapshot.get("requests")
+    if requests:
+        for tid, row in enumerate(requests.get("threads", ())):
+            for quantile, value in (row.get("quantiles") or {}).items():
+                if value is None:
+                    continue
+                fam.add("repro_request_latency_cycles", "gauge",
+                        "Exact streaming per-thread load-latency quantiles "
+                        "(issue to critical word)",
+                        labelled(thread=tid, quantile=quantile), value)
+        for rule in (requests.get("slo") or {}).get("rules", ()):
+            for tid, attained in enumerate(rule.get("attainment") or ()):
+                if attained is None:
+                    continue
+                fam.add("repro_slo_attainment", "gauge",
+                        "Fraction of a thread's demand loads within the SLO "
+                        "rule's latency threshold",
+                        labelled(slo=rule.get("name"), thread=tid), attained)
     attribution = snapshot.get("attribution")
     if attribution:
         for resource, data in sorted(attribution.get("resources", {}).items()):

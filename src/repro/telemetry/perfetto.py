@@ -47,6 +47,11 @@ PID_RESOURCES = 2
 PID_KERNEL = 3
 PID_HOST = 4
 
+# Flow phases (request-waterfall exemplars, repro.telemetry.requests):
+# arrows linking a request's issue point on the thread timeline to its
+# per-stage waterfall on the ``req.t<tid>`` track.
+_PH_FLOW = ("s", "t", "f")
+
 _PROCESS_NAMES = {
     PID_THREADS: "hardware threads",
     PID_RESOURCES: "shared resources",
@@ -142,6 +147,10 @@ def chrome_trace(events: Iterable[TraceEvent]) -> List[dict]:
         }
         if event.phase in (PH_BEGIN, PH_END):
             record["id"] = str(event.id)
+        elif event.phase in _PH_FLOW:
+            record["id"] = str(event.id)
+            if event.phase == "f":
+                record["bp"] = "e"  # bind to enclosing slice
         elif event.phase == PH_COMPLETE:
             record["dur"] = event.dur
         elif event.phase == PH_INSTANT:

@@ -31,15 +31,21 @@ def build_report_card(
     targets: Optional[Sequence[float]] = None,
     ipcs: Optional[Sequence[float]] = None,
     run_label: str = "",
+    requests: Optional[Dict] = None,
 ) -> Dict:
     """Assemble the JSON report card.
 
     ``ipcs`` defaults to the metrics snapshot's measured IPCs (which
     match the :class:`SimulationResult` bit for bit); ``targets`` —
     per-thread private-machine IPCs — unlock the normalized headline.
+    ``requests`` is an optional ``repro.requests/1`` document (or is
+    pulled from the metrics snapshot when embedded there); it adds the
+    tail-latency columns and the SLO-attainment audit.
     """
     if ipcs is None and metrics is not None:
         ipcs = metrics.get("ipcs")
+    if requests is None and metrics is not None:
+        requests = metrics.get("requests")
     card: Dict = {
         "schema": REPORT_SCHEMA,
         "run": run_label,
@@ -55,6 +61,8 @@ def build_report_card(
     received = attribution.get("interference_received") if attribution else None
     caused = attribution.get("interference_caused") if attribution else None
     per_window = conformance.get("per_thread") if conformance else None
+    request_rows = requests.get("threads") if requests else None
+    slo_rules = (requests.get("slo") or {}).get("rules") if requests else None
 
     threads: List[Dict] = []
     outcomes: List[QoSOutcome] = []
@@ -62,6 +70,19 @@ def build_report_card(
         row: Dict = {"thread": tid}
         if ipcs is not None:
             row["ipc"] = ipcs[tid]
+        if request_rows is not None and tid < len(request_rows):
+            quantiles = request_rows[tid].get("quantiles") or {}
+            row["p99_latency"] = quantiles.get("p99")
+        if slo_rules:
+            attained = [
+                rule["attainment"][tid]
+                for rule in slo_rules
+                if rule.get("attainment") and tid < len(rule["attainment"])
+                and rule["attainment"][tid] is not None
+            ]
+            if attained:
+                # The thread's tightest margin across all matching rules.
+                row["slo_attainment"] = min(attained)
         if targets is not None and ipcs is not None:
             outcome = QoSOutcome(thread_id=tid, ipc=ipcs[tid],
                                  target_ipc=targets[tid])
@@ -76,6 +97,8 @@ def build_report_card(
             row["conformance_pct"] = per_window[tid]["conformance_pct"]
         threads.append(row)
     card["threads"] = threads
+    if requests is not None:
+        card["requests"] = requests
     if outcomes:
         try:
             hmean, minimum = summarize(outcomes)
@@ -115,6 +138,16 @@ def merge_report_cards(cards: Sequence[Dict], label: str = "") -> Dict:
                      for card in live)
     fleet["violations"] = violations
     fleet["clean"] = violations == 0
+    p99s = [row["p99_latency"] for card in live
+            for row in card.get("threads", ())
+            if row.get("p99_latency") is not None]
+    if p99s:
+        fleet["worst_p99_latency"] = max(p99s)
+    attainments = [row["slo_attainment"] for card in live
+                   for row in card.get("threads", ())
+                   if row.get("slo_attainment") is not None]
+    if attainments:
+        fleet["worst_slo_attainment"] = min(attainments)
     return fleet
 
 
@@ -134,6 +167,10 @@ def _thread_table(card: Dict) -> List[str]:
         headers += ["target", "norm", "qos"]
     if "conformance_pct" in sample:
         headers += ["conf%"]
+    if "p99_latency" in sample:
+        headers += ["p99(cyc)"]
+    if "slo_attainment" in sample:
+        headers += ["slo%"]
     if "interference_received" in sample:
         headers += ["recv(cyc)", "caused(cyc)"]
     rows = [headers]
@@ -147,6 +184,12 @@ def _thread_table(card: Dict) -> List[str]:
             ]
         if "conformance_pct" in row:
             cells += [f"{row['conformance_pct']:.1f}"]
+        if "p99(cyc)" in headers:
+            value = row.get("p99_latency")
+            cells += ["-" if value is None else str(value)]
+        if "slo%" in headers:
+            attained = row.get("slo_attainment")
+            cells += ["-" if attained is None else f"{attained * 100:.2f}"]
         if "interference_received" in row:
             cells += [str(row["interference_received"]),
                       str(row["interference_caused"])]
@@ -235,6 +278,11 @@ def render_report_card(card: Dict) -> str:
     if stacks:
         lines.append("")
         lines.extend(_stack_lines(stacks))
+    requests = card.get("requests")
+    if requests:
+        from repro.telemetry.requests import render_requests
+        lines.append("")
+        lines.extend(render_requests(requests))
     attribution = card.get("attribution")
     if attribution:
         lines.append("")
@@ -265,6 +313,16 @@ def render_fleet_card(fleet: Dict) -> str:
         f"guarantee audit: {status} — {fleet.get('violations', 0)} "
         f"violations total"
     )
+    if "worst_p99_latency" in fleet:
+        lines.append(
+            f"worst p99 load latency across runs: "
+            f"{fleet['worst_p99_latency']} cycles"
+        )
+    if "worst_slo_attainment" in fleet:
+        lines.append(
+            f"worst SLO attainment across runs: "
+            f"{fleet['worst_slo_attainment'] * 100:.2f}%"
+        )
     decomposition = fleet.get("slowdown_decomposition")
     if decomposition:
         from repro.telemetry.cycles import render_decomposition

@@ -25,6 +25,11 @@ Three validators, one CLI:
   ``--alerts-out`` (or a fleet aggregator's ``/alerts``): rule/event
   shapes, monotonically increasing ``sequence`` ordinals, events that
   reference declared rules, and a summary consistent with the events.
+* ``repro.requests/1`` documents from ``--requests`` are re-checked by
+  :func:`repro.telemetry.requests.verify_requests` — standalone or
+  embedded in a metrics snapshot — including the segment-conservation
+  invariant: every exemplar's per-stage segments must sum exactly to
+  its end-to-end latency.
 
 Run as a module for CI (the artifact kind is inferred from content, or
 forced with ``--trace`` / ``--metrics`` / ``--prometheus`` /
@@ -121,6 +126,7 @@ def validate_chrome_trace(payload) -> List[str]:
 _METRICS_SCHEMAS = ("repro.metrics/1",)
 _AGGREGATE_SCHEMAS = ("repro.metrics-aggregate/1",)
 _STACK_SCHEMAS = ("repro.cpi-stack/1",)
+_REQUESTS_SCHEMAS = ("repro.requests/1",)
 
 
 def _check_thread_rows(errors, series, key, n_threads, windows, where):
@@ -227,6 +233,17 @@ def _validate_metrics_point(payload, errors, where) -> None:
             errors.append(
                 f"{where}.cpi_stacks: n_threads "
                 f"{stacks.get('n_threads')!r} != snapshot's {n_threads}"
+            )
+    requests = payload.get("requests")
+    if requests is not None:
+        from repro.telemetry.requests import verify_requests
+        errors.extend(f"{where}.{problem}"
+                      for problem in verify_requests(requests))
+        if (isinstance(requests, dict)
+                and requests.get("n_threads") != n_threads):
+            errors.append(
+                f"{where}.requests: n_threads "
+                f"{requests.get('n_threads')!r} != snapshot's {n_threads}"
             )
 
 
@@ -478,8 +495,8 @@ def validate_alerts(payload) -> List[str]:
 
 
 _USAGE = ("usage: python -m repro.telemetry.validate "
-          "[--trace|--metrics|--stacks|--prometheus|--spans|--alerts] "
-          "<artifact>")
+          "[--trace|--metrics|--stacks|--prometheus|--spans|--alerts"
+          "|--requests] <artifact>")
 
 
 def _detect_kind(path: str, payload) -> str:
@@ -493,13 +510,19 @@ def _detect_kind(path: str, payload) -> str:
             return "spans"
         if schema in _ALERTS_SCHEMAS:
             return "alerts"
+        if schema in _REQUESTS_SCHEMAS:
+            return "requests"
         if isinstance(schema, str) and schema.startswith("repro."):
             return "metrics"
     if (isinstance(payload, list) and payload
-            and isinstance(payload[0], dict)
-            and payload[0].get("schema") in _STACK_SCHEMAS):
-        # An --stacks artifact: a list of per-point stack documents.
-        return "stacks"
+            and isinstance(payload[0], dict)):
+        if payload[0].get("schema") in _STACK_SCHEMAS:
+            # An --stacks artifact: a list of per-point stack documents.
+            return "stacks"
+        if payload[0].get("schema") in _REQUESTS_SCHEMAS:
+            # The experiment runner's --requests artifact: one
+            # repro.requests/1 document per traced point.
+            return "requests"
     return "trace"
 
 
@@ -508,7 +531,8 @@ def main(argv=None) -> int:
     kind = None
     flags = {"--trace": "trace", "--metrics": "metrics",
              "--stacks": "stacks", "--prometheus": "prometheus",
-             "--spans": "spans", "--alerts": "alerts"}
+             "--spans": "spans", "--alerts": "alerts",
+             "--requests": "requests"}
     paths = []
     for token in argv:
         if token in flags:
@@ -576,6 +600,29 @@ def main(argv=None) -> int:
         events = payload.get("events") if isinstance(payload, dict) else None
         count = len(events) if isinstance(events, list) else 0
         noun = "alert events"
+    elif kind == "requests":
+        from repro.telemetry.requests import verify_requests
+
+        def _count_loads(doc) -> int:
+            threads = doc.get("threads") if isinstance(doc, dict) else None
+            return (sum(row.get("loads", 0) for row in threads
+                        if isinstance(row, dict))
+                    if isinstance(threads, list) else 0)
+
+        if isinstance(payload, list):
+            errors = []
+            count = 0
+            for index, doc in enumerate(payload):
+                if not isinstance(doc, dict):
+                    errors.append(f"requests[{index}]: not an object")
+                    continue
+                errors.extend(f"requests[{index}]: {problem}"
+                              for problem in verify_requests(doc))
+                count += _count_loads(doc)
+        else:
+            errors = verify_requests(payload)
+            count = _count_loads(payload)
+        noun = "traced loads (segment conservation re-checked)"
     elif kind == "metrics":
         errors = validate_metrics_json(payload)
         count = payload.get("points", 1) if isinstance(payload, dict) else 0
