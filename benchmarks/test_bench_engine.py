@@ -351,6 +351,57 @@ def test_resilience_disabled_overhead_under_two_percent():
     )
 
 
+def _controller_disabled_step(system, cycles, metrics=None, checkpoint=None):
+    """The exact control flow the QoS control plane adds to the hot
+    measurement loop when no controller is attached: reading the (None)
+    ``system.qos_controller`` attribute into the combined fast-path test
+    of ``continue_measurement``, in front of an unchanged ``run()``.
+    Anything heavier than this — epoch arithmetic, chunk clamping —
+    would break the disabled-path contract."""
+    controller = system.qos_controller
+    if metrics is None and checkpoint is None and controller is None:
+        system.run(cycles)
+    else:
+        raise ValueError("benchmark covers the disabled path only")
+
+
+def test_controller_disabled_overhead_under_two_percent():
+    """The QoS-control-plane analog of the guards above (ISSUE 10,
+    docs/ARCHITECTURE.md "QoS control plane"): with no controller
+    attached, the measurement loop must run within 2% of a bare
+    ``run()`` loop.  Same interleaved min-of-rounds harness; this trips
+    if the epoch hook ever grows eager work (epoch modulo math, chunked
+    stepping, collector probes) on the disabled path instead of staying
+    behind the single fast-path ``is None`` test."""
+    def timed_bare(system, cycles=2_000):
+        start = time.perf_counter()
+        system.run(cycles)
+        return time.perf_counter() - start
+
+    def timed_disabled(system, cycles=2_000):
+        start = time.perf_counter()
+        _controller_disabled_step(system, cycles)
+        return time.perf_counter() - start
+
+    baseline_system = _fresh_system()
+    disabled_system = _fresh_system()
+    ratios = []
+    for _ in range(6):
+        baseline_total = disabled_total = 0.0
+        for chunk_index in range(10):
+            if chunk_index % 2 == 0:
+                baseline_total += timed_bare(baseline_system)
+                disabled_total += timed_disabled(disabled_system)
+            else:
+                disabled_total += timed_disabled(disabled_system)
+                baseline_total += timed_bare(baseline_system)
+        ratios.append(disabled_total / baseline_total)
+    assert min(ratios) <= 1.02, (
+        f"controller-disabled measurement loop is >2% slower than the "
+        f"bare run loop in every round: ratios {[f'{r:.3f}' for r in ratios]}"
+    )
+
+
 def _spans_alerts_disabled_step(system, cycles, span_ctx=None, engine=None):
     """The exact control flow the host-span tracer and alert engine add
     to the hot drivers when both are *off*: None-guards around an

@@ -2,15 +2,24 @@
 
 Runs an N-thread CMP where each positional argument names one thread's
 workload: a SPEC stand-in profile (``art``, ``mcf``, ...), a Table-2
-microbenchmark (``loads``/``stores``), or ``trace:<path>`` for a
+microbenchmark (``loads``/``stores``), a phase-changing schedule (a
+``PHASED_PROFILES`` name like ``art-sixtrack``, or inline
+``phase:bench+bench[@instructions]``), or ``trace:<path>`` for a
 segment-trace file.  Prints per-thread IPC, utilization, and the
 Figure-7 store statistics.
+
+``--policy {fcfs,vpc,lfoc}`` selects a whole policy family at once;
+``--controller {lfoc,fairness}`` attaches a dynamic QoS controller
+that re-tunes the VPC share registers every ``--epoch`` cycles (see
+docs/ARCHITECTURE.md "QoS control plane").
 
 Examples::
 
     python -m repro loads stores --arbiter vpc --shares 0.75,0.25
     python -m repro art mcf gzip sixtrack --arbiter fcfs
     python -m repro trace:mytrace.txt stores --cycles 80000
+    python -m repro art-sixtrack mcf equake-art gzip --policy lfoc \\
+        --qos-log qos.json
 """
 
 from __future__ import annotations
@@ -25,7 +34,13 @@ from repro.cpu.isa import TraceItem
 from repro.system.cmp import CMPSystem
 from repro.system.simulator import run_simulation
 from repro.workloads.microbench import MICROBENCHMARKS
-from repro.workloads.profiles import SPEC_PROFILES, spec_trace
+from repro.workloads.phased import parse_phased, phased_trace
+from repro.workloads.profiles import (
+    PHASED_PROFILES,
+    SPEC_PROFILES,
+    phased_profile_trace,
+    spec_trace,
+)
 from repro.workloads.tracefile import trace_from_file
 
 
@@ -33,13 +48,18 @@ def resolve_workload(name: str, thread_id: int) -> Iterator[TraceItem]:
     """Map a CLI workload spec to a trace iterator."""
     if name.startswith("trace:"):
         return trace_from_file(name.split(":", 1)[1])
+    if name.startswith("phase:"):
+        return phased_trace(parse_phased(name.split(":", 1)[1]), thread_id)
     if name in MICROBENCHMARKS:
         return MICROBENCHMARKS[name](thread_id)
     if name in SPEC_PROFILES:
         return spec_trace(name, thread_id)
-    known = sorted(MICROBENCHMARKS) + sorted(SPEC_PROFILES)
-    raise ValueError(f"unknown workload {name!r}; choose from {known} "
-                     "or trace:<path>")
+    if name in PHASED_PROFILES:
+        return phased_profile_trace(name, thread_id)
+    known = (sorted(MICROBENCHMARKS) + sorted(SPEC_PROFILES)
+             + sorted(PHASED_PROFILES))
+    raise ValueError(f"unknown workload {name!r}; choose from {known}, "
+                     "phase:<bench+bench[@instructions]>, or trace:<path>")
 
 
 def _workload_spec(name: str):
@@ -47,10 +67,14 @@ def _workload_spec(name: str):
     (what a checkpoint stores so it can replay the trace cursor)."""
     if name.startswith("trace:"):
         return ("tracefile", name.split(":", 1)[1])
+    if name.startswith("phase:"):
+        return ("phased-inline", name.split(":", 1)[1])
     if name in MICROBENCHMARKS:
         return ("micro", name)
     if name in SPEC_PROFILES:
         return ("spec", name)
+    if name in PHASED_PROFILES:
+        return ("phased", name)
     resolve_workload(name, 0)  # raises with the helpful message
 
 
@@ -93,6 +117,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="VPC arbiter fairness policy (WFQ or SFQ)")
     parser.add_argument("--prefetch", action="store_true",
                         help="enable the next-line prefetcher")
+    parser.add_argument("--policy", default=None,
+                        choices=("fcfs", "vpc", "lfoc"),
+                        help="policy family shorthand, overriding "
+                             "--arbiter/--capacity: fcfs (conventional "
+                             "cache: FCFS arbiters + shared LRU), vpc "
+                             "(static VPC shares), lfoc (VPC + the LFOC "
+                             "clustering controller)")
+    parser.add_argument("--controller", default=None,
+                        choices=("lfoc", "fairness"),
+                        help="attach a QoS controller that reprograms the "
+                             "VPC control registers every --epoch cycles "
+                             "(requires the vpc arbiter; with --report, "
+                             "the fairness controller steers against the "
+                             "measured solo targets)")
+    parser.add_argument("--epoch", type=int, default=None, metavar="CYCLES",
+                        help="QoS controller epoch length in cycles "
+                             "(default 5000)")
+    parser.add_argument("--qos-log", default=None, metavar="PATH",
+                        help="write the controller's repro.qos-decisions/1 "
+                             "document (per-epoch labels, programmed "
+                             "shares, Jain trajectory) to PATH")
     parser.add_argument("--histograms", action="store_true",
                         help="print per-thread/per-stage latency histograms "
                              "(implied tracing, no file needed)")
@@ -159,8 +204,10 @@ def _resumed_labels(system) -> List[str]:
             # Invert _workload_spec so labels match what was typed.
             if len(spec) == 1:
                 labels.append(spec[0])
-            elif spec[0] in ("micro", "spec"):
+            elif spec[0] in ("micro", "spec", "phased"):
                 labels.append(spec[1])
+            elif spec[0] == "phased-inline":
+                labels.append(f"phase:{spec[1]}")
             elif spec[0] == "tracefile":
                 labels.append(f"trace:{spec[1]}")
             else:
@@ -184,6 +231,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                      "--cpi-stacks/--requests/--spans/--alerts cannot be "
                      "added mid-run (a checkpointed accounting attachment "
                      "resumes automatically)")
+    if args.resume_checkpoint and (args.policy is not None
+                                   or args.controller is not None
+                                   or args.epoch is not None):
+        parser.error("--resume-checkpoint restores the original run's QoS "
+                     "controller from the snapshot; --policy/--controller/"
+                     "--epoch cannot change it mid-run")
+    controller_name = args.controller
+    if args.policy is not None:
+        if args.policy == "fcfs":
+            if controller_name is not None:
+                parser.error("a QoS controller programs the VPC share "
+                             "registers; --policy fcfs has none")
+            args.arbiter, args.capacity = "fcfs", "lru"
+        else:
+            args.arbiter, args.capacity = "vpc", "vpc"
+            if args.policy == "lfoc" and controller_name is None:
+                controller_name = "lfoc"
+    if controller_name is not None and args.arbiter != "vpc":
+        parser.error(f"--controller needs the vpc arbiter, not "
+                     f"{args.arbiter!r} (or use --policy lfoc)")
+    if args.epoch is not None:
+        if controller_name is None:
+            parser.error("--epoch only applies when a QoS controller "
+                         "runs; add --controller or --policy lfoc")
+        if args.epoch < 1:
+            parser.error("--epoch must be >= 1 cycle")
+    if args.qos_log is not None and controller_name is None \
+            and not args.resume_checkpoint:
+        parser.error("--qos-log needs a QoS controller; add --controller "
+                     "or --policy lfoc")
     if args.alerts_out and not args.alerts:
         parser.error("--alerts-out requires --alerts")
     if args.slo is not None and args.requests is None:
@@ -341,6 +418,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         system.attach_cycle_accounting()
     if resumed is None and args.requests is not None:
         system.attach_request_tracing(slo_rules=slo_rules)
+    if resumed is None and controller_name is not None:
+        from repro.qos import make_controller
+        system.attach_qos_controller(make_controller(
+            controller_name, n_threads,
+            epoch_cycles=args.epoch or 5_000,
+            baseline_ipcs=targets,
+        ))
     monitor = None
     if resumed is None and observe and args.arbiter == "vpc":
         from repro.core.monitor import QoSMonitor
@@ -452,6 +536,27 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"({result.write_fraction:.0%} writes), "
           f"gathering rate {result.gathering_rate:.0%}, "
           f"miss rate {result.l2_miss_rate:.0%}")
+
+    if result.qos is not None:
+        doc = result.qos
+        final = doc.get("final") or {}
+        labels = ",".join(final.get("labels", [])) or "-"
+        print(f"  qos: {doc['policy']} controller, {doc['epochs']} epochs "
+              f"of {doc['epoch_cycles']} cycles, final jain "
+              f"{final.get('jain', 0.0):.3f}, labels [{labels}]")
+        if final.get("phi"):
+            shares = " ".join(f"{value:.2f}" for value in final["phi"])
+            quotas = " ".join(f"{value:.2f}" for value in final["beta"])
+            print(f"  qos shares: phi [{shares}]  beta [{quotas}]")
+        if args.qos_log is not None:
+            import json
+            with open(args.qos_log, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=2)
+                handle.write("\n")
+            print(f"  qos decisions -> {args.qos_log}")
+    elif args.qos_log is not None:
+        print("  qos: none logged (the resumed checkpoint was written "
+              "without a controller)")
 
     if args.cpi_stacks is not None and result.cpi_stacks is not None:
         stacks = result.cpi_stacks

@@ -62,6 +62,24 @@ class VPCCapacityManager(ReplacementPolicy):
         self.condition1_evictions = 0
         self.condition2_evictions = 0
 
+    def set_quotas(self, capacity_shares: Sequence[float]) -> List[int]:
+        """Reprogram the per-thread way quotas in place (no cache rebuild).
+
+        The runtime path behind ``VPCControlRegisters.write_capacity``:
+        resident lines are untouched, only the victim-selection quotas
+        change, so the next insert in each set starts draining whoever
+        the new allocation leaves over quota.  Raises (leaving the old
+        quotas in force) if the shares over-allocate or change thread
+        count.  Returns the new quota vector.
+        """
+        if len(capacity_shares) != self.n_threads:
+            raise ValueError(
+                f"expected {self.n_threads} capacity shares, "
+                f"got {len(capacity_shares)}"
+            )
+        self.quotas = ways_quota(capacity_shares, self.ways)
+        return self.quotas
+
     def choose_victim(self, set_view: SetView, requester: int) -> int:
         if not 0 <= requester < self.n_threads:
             raise ValueError(f"unknown requester thread {requester}")

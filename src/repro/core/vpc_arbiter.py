@@ -117,6 +117,27 @@ class VPCArbiter(Arbiter):
         self._shares[thread_id] = share
         self._r_l[thread_id] = self._virtual_service(share)
 
+    def set_shares(self, shares: Sequence[float]) -> None:
+        """Vector form of :meth:`set_share`: mirror a whole register
+        vector in one step.  Needed for transactional reprogramming
+        (``VPCControlRegisters.load_allocation``): applying an
+        already-validated vector thread by thread could transiently
+        over-allocate mid-update, so the whole vector is validated and
+        assigned together.
+        """
+        if len(shares) != self.n_threads:
+            raise ValueError(
+                f"{len(shares)} shares supplied for {self.n_threads} threads"
+            )
+        if any(not 0.0 <= share <= 1.0 for share in shares):
+            raise ValueError(f"share out of [0, 1] in {list(shares)}")
+        if sum(shares) > 1.0 + 1e-9:
+            raise ValueError(f"shares over-allocate the resource: {list(shares)}")
+        for thread_id, share in enumerate(shares):
+            if share != self._shares[thread_id]:
+                self._shares[thread_id] = share
+                self._r_l[thread_id] = self._virtual_service(share)
+
     # ------------------------------------------------------------------ #
     # Arbitration.
     # ------------------------------------------------------------------ #

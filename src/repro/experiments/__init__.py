@@ -15,6 +15,7 @@ from repro.experiments import (  # noqa: F401
     fig8_loads_stores,
     fig9_subject_background,
     fig10_heterogeneous,
+    policy_frontier,
     sweep_designspace,
     sweep_smt,
     table1_config,

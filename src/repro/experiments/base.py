@@ -27,6 +27,10 @@ class ExperimentResult:
     # Aggregated per-point metrics (repro.telemetry.metrics), attached by
     # the runner when metrics collection is enabled.
     metrics: Optional[Dict] = None
+    # Machine-readable figure document (schema-tagged, validated by
+    # repro.telemetry.validate) for experiments that produce one; the
+    # runner writes it next to the other artifacts under --figures.
+    figure: Optional[Dict] = None
 
     def cell(self, row: int, column: str):
         return self.rows[row][self.headers.index(column)]

@@ -34,7 +34,7 @@ import pickle
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -105,6 +105,21 @@ _spans = None
 # document.  Reset by every configure() like the observers.
 _requests = False
 _slo: Tuple = ()
+# Policy-family override (--policy on the experiments runner): remaps
+# every multi-thread point's arbiter/capacity/controller before it runs
+# ("fcfs" | "vpc" | "lfoc"; None = leave points as authored).  Solo
+# (1-thread) points — the private-equivalent targets — are never
+# remapped.  Reset by every configure() like the observers.
+_policy: Optional[str] = None
+# QoS controller override (--controller): attach this repro.qos
+# controller to every multi-thread point, with _epoch as its epoch
+# length (None = the points' own epoch_cycles).  Reset like _policy.
+_controller: Optional[str] = None
+_epoch: Optional[int] = None
+
+#: Policy-family presets shared with the CLIs: arbiter, capacity
+#: policy, and controller implied by each ``--policy`` name.
+POLICIES = ("fcfs", "vpc", "lfoc")
 
 #: hits/misses observability (tests assert on this; reset via configure).
 cache_stats: Dict[str, int] = {"hits": 0, "misses": 0}
@@ -129,6 +144,9 @@ def configure(
     spans=None,
     requests: bool = False,
     slo: Sequence = (),
+    policy: Optional[str] = None,
+    controller: Optional[str] = None,
+    epoch: Optional[int] = None,
 ) -> None:
     """Set the process-wide execution policy (``jobs=0`` → all CPUs).
 
@@ -164,10 +182,20 @@ def configure(
     an alternative to process fan-out and to the streaming/resilience
     planes: combining ``lanes > 1`` with ``jobs > 1``, a live feed, or
     a resilience policy is an error.
+
+    ``policy`` ("fcfs"/"vpc"/"lfoc") remaps every multi-thread point's
+    arbiter, capacity policy, and QoS controller to one policy family
+    before it runs; ``controller`` ("lfoc"/"fairness") attaches a
+    :mod:`repro.qos` controller to every multi-thread point, and
+    ``epoch`` overrides the controller epoch length.  Solo points (the
+    private-equivalent targets) are never remapped.  Controllers drive
+    the measurement loop's epoch chunking, which the lockstep lane
+    driver does not replicate — combining either with ``lanes > 1`` is
+    an error.  All three reset on every call like the observers.
     """
     global _jobs, _cache_enabled, _progress, _telemetry, _metrics_window
     global _live, _resilience, _kernel, _lanes, _cpi_stacks, _spans
-    global _requests, _slo
+    global _requests, _slo, _policy, _controller, _epoch
     if jobs is not None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
@@ -204,6 +232,22 @@ def configure(
         raise ValueError("the resilient fleet does not carry request "
                          "traces across checkpoints; drop --requests or "
                          "the run dir")
+    if policy is not None and policy not in POLICIES:
+        raise ValueError(f"unknown policy family {policy!r}; "
+                         f"choose from {POLICIES}")
+    if controller is not None:
+        from repro.qos import CONTROLLERS
+        if controller not in CONTROLLERS:
+            raise ValueError(f"unknown QoS controller {controller!r}; "
+                             f"choose from {CONTROLLERS}")
+        if policy == "fcfs":
+            raise ValueError("a QoS controller needs VPC share registers; "
+                             "it cannot ride the fcfs policy family")
+    if epoch is not None and epoch < 1:
+        raise ValueError(f"controller epoch must be >= 1 cycle, got {epoch}")
+    if _lanes > 1 and (controller is not None or policy == "lfoc"):
+        raise ValueError("the lockstep lane driver does not fire QoS "
+                         "controller epochs; drop lanes or the controller")
     _progress = progress
     _telemetry = telemetry
     _metrics_window = metrics
@@ -213,6 +257,9 @@ def configure(
     _spans = spans
     _requests = requests
     _slo = tuple(slo)
+    _policy = policy
+    _controller = controller
+    _epoch = epoch
     cache_stats["hits"] = 0
     cache_stats["misses"] = 0
     metrics_log.clear()
@@ -271,6 +318,53 @@ def configured_requests() -> bool:
     return _requests
 
 
+def configured_policy() -> Optional[str]:
+    """The policy-family override for this process, if any."""
+    return _policy
+
+
+def configured_controller() -> Optional[str]:
+    """The QoS-controller override for this process, if any."""
+    return _controller
+
+
+def apply_policy(point: "SimPoint") -> "SimPoint":
+    """Remap one point to the configured policy family / controller.
+
+    Solo (1-thread) points pass through untouched: they are the
+    private-equivalent targets every policy normalizes against, and
+    remapping them would also orphan their cache entries.  Multi-thread
+    points get their arbiter, capacity policy, and controller rewritten
+    — the rewritten point is what runs, caches, and pickles, so worker
+    processes need no knowledge of the override.
+    """
+    if (_policy is None and _controller is None) \
+            or point.config.n_threads == 1:
+        return point
+    updates: Dict = {}
+    if _policy == "fcfs":
+        updates["config"] = replace(point.config, arbiter="fcfs")
+        updates["capacity_policy"] = "lru"
+        updates["controller"] = None
+    elif _policy == "vpc":
+        updates["config"] = replace(point.config, arbiter="vpc")
+        updates["capacity_policy"] = "vpc"
+        updates["controller"] = None
+    elif _policy == "lfoc":
+        updates["config"] = replace(point.config, arbiter="vpc")
+        updates["capacity_policy"] = "vpc"
+        updates["controller"] = "lfoc"
+    if _controller is not None:
+        updates["config"] = replace(
+            updates.get("config", point.config), arbiter="vpc")
+        updates["capacity_policy"] = "vpc"
+        updates["controller"] = _controller
+    if _epoch is not None and (
+            updates.get("controller") or point.controller):
+        updates["epoch_cycles"] = _epoch
+    return replace(point, **updates) if updates else point
+
+
 @dataclass(frozen=True)
 class SimPoint:
     """One simulation: a system configuration plus seeded trace specs.
@@ -280,7 +374,9 @@ class SimPoint:
     * ``("loads",)`` / ``("stores",)`` — the microbenchmarks;
     * ``("micro", name)`` — any entry of ``MICROBENCHMARKS``;
     * ``("spec", name)`` — a SPEC stand-in profile;
-    * ``("synthetic", profile)`` — an explicit ``WorkloadProfile``.
+    * ``("synthetic", profile)`` — an explicit ``WorkloadProfile``;
+    * ``("phased", name)`` — a named phase-changing schedule;
+    * ``("phased-inline", text)`` — an inline phased schedule.
 
     Thread ids are positional.  Everything here is a frozen dataclass or
     a primitive, so a point pickles to workers and ``repr`` is a stable
@@ -299,6 +395,14 @@ class SimPoint:
     # experiment invocation) should set this; workload points are cheap
     # relative to their disk-churn and cache-invalidation risk.
     cacheable: bool = False
+    # Dynamic QoS control plane (repro.qos): a controller name
+    # ("lfoc"/"fairness") attached to the point's system, its epoch
+    # length, and optional solo-baseline IPCs handed to the controller
+    # as slowdown targets.  Part of the frozen value object, so it is
+    # in the cache key and travels to workers with the point.
+    controller: Optional[str] = None
+    epoch_cycles: int = 5_000
+    controller_targets: Optional[Tuple[float, ...]] = None
 
 
 def _build_trace(spec: Tuple, thread_id: int):
@@ -318,6 +422,12 @@ def _build_trace(spec: Tuple, thread_id: int):
     if kind == "synthetic":
         from repro.workloads.synthetic import synthetic_trace
         return synthetic_trace(spec[1], thread_id)
+    if kind == "phased":
+        from repro.workloads.profiles import phased_profile_trace
+        return phased_profile_trace(spec[1], thread_id)
+    if kind == "phased-inline":
+        from repro.workloads.phased import parse_phased, phased_trace
+        return phased_trace(parse_phased(spec[1]), thread_id)
     raise ValueError(f"unknown trace spec {spec!r}")
 
 
@@ -336,6 +446,20 @@ def _point_system(point: SimPoint, traces, kernel: Optional[str]):
         smt_degree=point.smt_degree,
         **kwargs,
     )
+
+
+def _point_controller(system, point: SimPoint) -> None:
+    """Attach the point's QoS controller, if any (after the observers,
+    so the controller's private collector lands on the final bus)."""
+    if point.controller is None:
+        return
+    from repro.qos import make_controller
+    system.attach_qos_controller(make_controller(
+        point.controller,
+        point.config.n_threads,
+        epoch_cycles=point.epoch_cycles,
+        baseline_ipcs=point.controller_targets,
+    ))
 
 
 def _point_observers(system, point: SimPoint, metrics_window: Optional[int]):
@@ -426,6 +550,7 @@ def run_point(
     if requests and point.smt_degree == 1:
         system.attach_request_tracing(slo_rules=slo_rules)
     metrics, attributor = _point_observers(system, point, metrics_window)
+    _point_controller(system, point)
     on_window = None
     monitor = None
     if feed is not None:
@@ -574,6 +699,12 @@ def _run_lockstep(points, todo, lanes, kernel, metrics_window,
         point = points[index]
         if point.warmup < 0 or point.measure <= 0:
             raise ValueError("warmup must be >= 0 and measure > 0")
+        if point.controller is not None:
+            raise ValueError(
+                "the lockstep lane driver chunks measurement itself and "
+                "does not fire QoS controller epochs; run controlled "
+                "points without lanes"
+            )
         lane = _Lane()
         lane.index = index
         lane.point = point
@@ -718,6 +849,8 @@ def run_points(points: Sequence[SimPoint]) -> List[SimulationResult]:
     replayed from the run directory, survivors checkpointed, failures
     retried with backoff.
     """
+    if _policy is not None or _controller is not None:
+        points = [apply_policy(point) for point in points]
     if _resilience is not None:
         from repro.resilience import fleet
         results_r = fleet.run_points_resilient(

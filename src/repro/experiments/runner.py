@@ -19,6 +19,13 @@ per-point ``repro.requests/1`` documents land in DIR), and
 ``--manifest [DIR]`` writes each experiment's provenance record next
 to the output.
 
+QoS policy (see docs/ARCHITECTURE.md "QoS control plane"):
+``--policy {fcfs,vpc,lfoc}`` remaps every multi-thread point onto one
+policy family, ``--controller {lfoc,fairness}`` attaches a dynamic
+share controller re-tuned every ``--epoch`` cycles, and ``--figures
+[DIR]`` writes the machine-readable figure document (e.g. the
+``repro.policy-frontier/1`` frontier) for experiments that emit one.
+
 Resilience (see docs/ARCHITECTURE.md "Resilience"): ``--run-dir DIR``
 routes execution through the journaled fault-tolerant fleet —
 checkpoints every ``--checkpoint-every`` cycles, per-point
@@ -178,6 +185,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "traced document: an integer cycle "
                              "threshold shorthand or a JSON/TOML rules "
                              "file (requires --requests)")
+    parser.add_argument("--policy", default=None, metavar="NAME",
+                        choices=list(parallel.POLICIES),
+                        help="remap every multi-thread point to one policy "
+                             "family: fcfs (conventional cache), vpc "
+                             "(static equal shares), or lfoc (VPC + the "
+                             "LFOC clustering controller); solo target "
+                             "points are never remapped")
+    parser.add_argument("--controller", default=None, metavar="NAME",
+                        choices=["lfoc", "fairness"],
+                        help="attach a repro.qos controller to every "
+                             "multi-thread point (lfoc or fairness); "
+                             "implies VPC arbiters/capacity on those "
+                             "points")
+    parser.add_argument("--epoch", type=int, default=None, metavar="CYCLES",
+                        help="QoS controller epoch length in cycles "
+                             "(default 5000; requires --policy lfoc or "
+                             "--controller)")
+    parser.add_argument("--figures", nargs="?", const=".", default=None,
+                        metavar="DIR",
+                        help="write <exp_id>.figure.json (the machine-"
+                             "readable figure document, e.g. the policy-"
+                             "frontier frontier) into DIR for experiments "
+                             "that produce one (default: current "
+                             "directory)")
     parser.add_argument("--history", default=None, metavar="PATH",
                         help="append one run-history ledger entry per "
                              "experiment (manifest + headline metrics + "
@@ -317,14 +348,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         if run_dir is not None:
             parser.error("--lanes does not journal checkpoints; drop "
                          "--run-dir/--resume")
-    parallel.configure(jobs=args.jobs, cache=not args.no_cache,
-                       progress=progress, telemetry=telemetry,
-                       metrics=metrics_window, live=live,
-                       resilience=resilience,
-                       kernel=args.kernel or "event",
-                       lanes=args.lanes, cpi_stacks=args.cpi_stacks,
-                       spans=tracer,
-                       requests=args.requests is not None, slo=slo_rules)
+    if args.epoch is not None and args.controller is None \
+            and args.policy != "lfoc":
+        parser.error("--epoch only applies when a QoS controller runs; "
+                     "add --controller or --policy lfoc")
+    try:
+        parallel.configure(jobs=args.jobs, cache=not args.no_cache,
+                           progress=progress, telemetry=telemetry,
+                           metrics=metrics_window, live=live,
+                           resilience=resilience,
+                           kernel=args.kernel or "event",
+                           lanes=args.lanes, cpi_stacks=args.cpi_stacks,
+                           spans=tracer,
+                           requests=args.requests is not None,
+                           slo=slo_rules,
+                           policy=args.policy, controller=args.controller,
+                           epoch=args.epoch)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     if args.list or not args.experiments:
         for exp_id in sorted(REGISTRY):
@@ -424,6 +465,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 path.write_text(json.dumps(result.metrics, indent=2) + "\n")
                 print(f"metrics -> {path} "
                       f"({result.metrics['points']} point snapshots)")
+            if args.figures is not None and result.figure is not None:
+                import json
+                path = Path(args.figures) / f"{exp_id}.figure.json"
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(json.dumps(result.figure, indent=2) + "\n")
+                print(f"figure -> {path}")
             if args.stacks is not None and result.metrics is not None:
                 import json
                 docs = [

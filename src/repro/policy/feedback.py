@@ -21,6 +21,12 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.system.cmp import CMPSystem
+from repro.telemetry.events import (
+    CAT_QOS,
+    PH_COUNTER,
+    PH_INSTANT,
+    TraceEvent,
+)
 
 
 @dataclass
@@ -124,9 +130,34 @@ class FeedbackAllocator:
             share_after=after,
         )
         self.decisions.append(decision)
+        self._emit(decision)
         self._epoch_start_cycle = self.system.cycle
         self._epoch_start_insts = core.dispatched
         return decision
+
+    def _emit(self, decision: AllocationDecision) -> None:
+        """Mirror the decision onto the telemetry bus (when attached):
+        an instant on the shared ``qos.controller`` track plus the
+        subject's share as a counter, so feedback epochs line up with
+        the rest of the trace in Perfetto."""
+        bus = self.system.telemetry
+        if bus is None:
+            return
+        bus.emit(TraceEvent(
+            ts=decision.cycle, phase=PH_INSTANT, category=CAT_QOS,
+            name="feedback", track="qos.controller", tid=self.thread_id,
+            args={
+                "observed_ipc": decision.observed_ipc,
+                "target_ipc": decision.target_ipc,
+                "share_before": decision.share_before,
+                "share_after": decision.share_after,
+            },
+        ))
+        bus.emit(TraceEvent(
+            ts=decision.cycle, phase=PH_COUNTER, category=CAT_QOS,
+            name="phi", track="qos.shares",
+            args={f"t{self.thread_id}": decision.share_after},
+        ))
 
     def run(self, epochs: int) -> List[AllocationDecision]:
         return [self.epoch() for _ in range(epochs)]

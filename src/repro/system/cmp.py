@@ -86,6 +86,10 @@ class CMPSystem:
         self.cycle_accounting = None
         # Request-scope tracing (telemetry.requests): same contract.
         self.request_tracer = None
+        # QoS control plane (repro.qos): attached on demand, None when
+        # disabled — the simulation driver fires its epoch hook only
+        # after a single ``is not None`` test per chunk.
+        self.qos_controller = None
 
         self.registers = VPCControlRegisters(config.n_threads)
         self.registers.load_allocation(
@@ -286,6 +290,27 @@ class CMPSystem:
             self.memory.attach_rtrace(tracer)
         return tracer
 
+    def attach_qos_controller(self, controller):
+        """Enable the dynamic QoS control plane: bind a
+        :class:`~repro.qos.QoSController` to this system.  The
+        controller observes through a private metrics collector on the
+        telemetry bus (attached here if none exists yet) and programs
+        shares exclusively through :attr:`registers` — it gets no other
+        handle into the machine.  Same zero-overhead-when-disabled
+        contract as :meth:`attach_cycle_accounting`; controller state is
+        part of the system object graph, so checkpoints carry it.
+        """
+        if self.config.arbiter != "vpc":
+            raise ValueError(
+                "the QoS control plane programs VPC bandwidth shares; "
+                f"arbiter {self.config.arbiter!r} has no share registers"
+            )
+        if self.telemetry is None:
+            self.attach_telemetry(TelemetryBus())
+        controller.attach(self)
+        self.qos_controller = controller
+        return controller
+
     def _now(self) -> int:
         """Clock callable for components whose interfaces carry no
         timestamp (replacement policies)."""
@@ -334,15 +359,31 @@ class CMPSystem:
         return arbiter
 
     def _on_register_write(self, resource: str, thread_id: int, share: float) -> None:
-        if resource == "capacity" or self.config.arbiter != "vpc":
+        if resource == "capacity":
+            # Runtime beta reprogramming: push the (already-validated)
+            # register vector into every live capacity manager.  Plain
+            # LRU policies have no quotas and ignore the write.
+            policies = [bank.array.policy for bank in self.banks]
+            if self.l3 is not None:
+                policies.append(self.l3.array.policy)
+            for policy in policies:
+                if hasattr(policy, "set_quotas"):
+                    policy.set_quotas(self.registers.capacity)
             return
+        if self.config.arbiter != "vpc":
+            return
+        # Mirror the full (already-validated) register vector rather
+        # than the single write: transactional reprogramming notifies
+        # thread by thread, and a per-thread mirror could transiently
+        # over-allocate an arbiter mid-update.
+        shares = self.registers.bandwidth[resource]
         for arbiter in self._vpc_arbiters[resource]:
-            arbiter.set_share(thread_id, share)
+            arbiter.set_shares(shares)
         if resource == "data":
             # The L3 port tracks the data-array allocation (no separate
             # architected register in this model).
             for arbiter in self._vpc_arbiters["l3"]:
-                arbiter.set_share(thread_id, share)
+                arbiter.set_shares(shares)
 
     def _send_request(self, core_id: int, request: MemoryRequest, now: int) -> None:
         self.crossbar.send_request(core_id, request, now)

@@ -43,6 +43,9 @@ class SimulationResult:
     # Request-tracing document (repro.telemetry.requests) when a request
     # tracer was attached to the system; None otherwise.
     requests: Optional[Dict] = None
+    # QoS decision log (repro.qos) when a controller was attached to the
+    # system; None otherwise.
+    qos: Optional[Dict] = None
 
     @property
     def write_fraction(self) -> float:
@@ -115,6 +118,12 @@ def run_simulation(
     so it cannot perturb results; when ``None`` the cost is one ``is
     not None`` test per window.
 
+    A system with a QoS controller attached
+    (``CMPSystem.attach_qos_controller``) likewise runs the measurement
+    chunked, stopping at every controller epoch boundary to fire
+    ``on_epoch`` — the control loop rides the same exactness contract,
+    so all three kernels agree bit for bit with a controller attached.
+
     ``checkpoint`` is an optional :class:`repro.resilience.snapshot
     .Checkpointer`; when given, the measurement also runs chunked (at
     the checkpoint cadence, or the metrics window when both are active
@@ -134,6 +143,9 @@ def run_simulation(
     if system.request_tracer is not None:
         # Request summaries likewise cover the measurement interval.
         system.request_tracer.rebase(system.cycle)
+    if system.qos_controller is not None:
+        # The controller's first epoch must not see warmup traffic.
+        system.qos_controller.rebase(system)
 
     n_threads = system.config.n_threads
     state = MeasureState(
@@ -167,8 +179,9 @@ def continue_measurement(
     and uninterrupted runs share one code path and finalize from the
     same snapshots — the bit-exactness contract's backbone.
     """
+    controller = system.qos_controller
     if state.remaining > 0:
-        if metrics is None and checkpoint is None:
+        if metrics is None and checkpoint is None and controller is None:
             system.run(state.remaining)
             state.remaining = 0
         else:
@@ -179,9 +192,25 @@ def continue_measurement(
                 elif checkpoint is not None:
                     chunk = min(chunk,
                                 checkpoint.every - state.since_checkpoint)
+                if controller is not None:
+                    # Stop at the next epoch boundary.  ``done`` derives
+                    # from the measure/remaining arithmetic alone, so a
+                    # checkpointed-and-resumed run fires epochs at the
+                    # same cycles an uninterrupted one does.
+                    done = state.measure - state.remaining
+                    chunk = min(
+                        chunk,
+                        controller.epoch_cycles
+                        - done % controller.epoch_cycles,
+                    )
                 system.run(chunk)
                 state.remaining -= chunk
                 state.since_checkpoint += chunk
+                if controller is not None:
+                    done = state.measure - state.remaining
+                    if (done % controller.epoch_cycles == 0
+                            or state.remaining == 0):
+                        controller.on_epoch(system)
                 if metrics is not None:
                     metrics.sample(system)
                     acct = system.cycle_accounting
@@ -236,6 +265,10 @@ def _finalize(system: CMPSystem, state: MeasureState,
         requests=(
             system.request_tracer.document(system.cycle)
             if system.request_tracer is not None else None
+        ),
+        qos=(
+            system.qos_controller.decisions_document()
+            if system.qos_controller is not None else None
         ),
         utilizations=avg_utils,
         bank_utilizations=bank_utils,

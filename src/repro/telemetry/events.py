@@ -37,6 +37,7 @@ CAT_RUN = "run"              # experiment-runner orchestration (wall clock)
 CAT_CACHE = "cache"          # capacity-manager victimizations + occupancy
 CAT_CPI = "cpi"              # per-thread CPI-stack counter tracks
 CAT_HOST = "host"            # host-time orchestration spans (wall clock)
+CAT_QOS = "qos"              # QoS controller decisions + share trajectories
 
 
 @dataclass

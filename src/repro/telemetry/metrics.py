@@ -175,6 +175,22 @@ class MetricsCollector:
         self._finished_at = end
         self._widx(end - 1 if end > 0 else 0)
 
+    def thread_totals(self) -> Dict[str, List[int]]:
+        """Cumulative per-thread event-derived totals since attachment:
+        loads retired and their latency sums (the windowed series summed
+        over every observed window).  The QoS control plane
+        (:mod:`repro.qos`) diffs these at epoch boundaries, so windows
+        need not align with controller epochs."""
+        loads = [0] * self.n_threads
+        latency = [0] * self.n_threads
+        for row in self._loads.values():
+            for tid in range(self.n_threads):
+                loads[tid] += row[tid]
+        for row in self._load_latency.values():
+            for tid in range(self.n_threads):
+                latency[tid] += row[tid]
+        return {"loads": loads, "load_latency": latency}
+
     # ------------------------------------------------------------------ #
     # Snapshot assembly.
     # ------------------------------------------------------------------ #

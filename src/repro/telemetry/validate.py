@@ -30,6 +30,17 @@ Three validators, one CLI:
   embedded in a metrics snapshot — including the segment-conservation
   invariant: every exemplar's per-stage segments must sum exactly to
   its end-to-end latency.
+* :func:`validate_qos_decisions` — ``repro.qos-decisions/1`` logs from
+  the CLI's ``--qos-log`` (the QoS controller's per-epoch decision
+  trail): monotone epoch/cycle ordering, per-thread vector shapes,
+  labels drawn from the classifier taxonomy, shares in ``[0, 1]``
+  that never over-allocate, and a ``final`` block consistent with the
+  last decision.
+* :func:`validate_frontier` — ``repro.policy-frontier/1`` figure
+  documents from the experiment runner's ``--figures``: per-mix
+  per-policy metric shapes (Jain in ``[0, 1]``, non-negative
+  aggregate IPC) and an aggregate block covering exactly the declared
+  policy families.
 
 Run as a module for CI (the artifact kind is inferred from content, or
 forced with ``--trace`` / ``--metrics`` / ``--prometheus`` /
@@ -40,6 +51,8 @@ forced with ``--trace`` / ``--metrics`` / ``--prometheus`` /
     python -m repro.telemetry.validate --prometheus metrics.prom
     python -m repro.telemetry.validate spans.json
     python -m repro.telemetry.validate alerts.json
+    python -m repro.telemetry.validate qos.json
+    python -m repro.telemetry.validate policy-frontier.figure.json
 """
 
 from __future__ import annotations
@@ -494,9 +507,206 @@ def validate_alerts(payload) -> List[str]:
     return errors
 
 
+_QOS_SCHEMAS = ("repro.qos-decisions/1",)
+_FRONTIER_SCHEMAS = ("repro.policy-frontier/1",)
+
+
+def _check_share_vector(errors, values, n_threads, where) -> None:
+    if not isinstance(values, list) or len(values) != n_threads:
+        errors.append(f"{where}: not a {n_threads}-vector")
+        return
+    for tid, value in enumerate(values):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors.append(f"{where}[{tid}]: non-numeric share {value!r}")
+        elif not 0.0 <= value <= 1.0:
+            errors.append(f"{where}[{tid}]: share {value} outside [0, 1]")
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+           for v in values) and sum(values) > 1.0 + 1e-6:
+        errors.append(f"{where}: shares sum to {sum(values)} > 1")
+
+
+def validate_qos_decisions(payload) -> List[str]:
+    """Validate a ``repro.qos-decisions/1`` controller log (``--qos-log``).
+
+    Checks the per-epoch decision trail the QoS controller recorded:
+    epoch ordinals and cycles strictly increase, every per-thread vector
+    has ``n_threads`` entries, labels come from the classifier taxonomy,
+    programmed phi/beta shares stay in ``[0, 1]`` and never
+    over-allocate their resource, Jain indices are in ``[0, 1]``, and
+    the ``final`` summary matches the last decision.
+    """
+    from repro.qos.classifier import LABELS
+    if not isinstance(payload, dict):
+        return [f"qos log must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") not in _QOS_SCHEMAS:
+        return [f"unknown qos schema {payload.get('schema')!r}"]
+    errors: List[str] = []
+    if not isinstance(payload.get("policy"), str) or not payload.get("policy"):
+        errors.append("missing string 'policy'")
+    epoch_cycles = payload.get("epoch_cycles")
+    if not isinstance(epoch_cycles, int) or epoch_cycles < 1:
+        errors.append(f"bad epoch_cycles {epoch_cycles!r}")
+    n_threads = payload.get("n_threads")
+    if not isinstance(n_threads, int) or n_threads < 1:
+        return errors + [f"bad n_threads {n_threads!r}"]
+    decisions = payload.get("decisions")
+    if not isinstance(decisions, list):
+        return errors + ["document has no 'decisions' list"]
+    if payload.get("epochs") != len(decisions):
+        errors.append(f"'epochs' {payload.get('epochs')!r} != "
+                      f"{len(decisions)} recorded decisions")
+    baselines = payload.get("baseline_ipcs")
+    if baselines is not None and (
+            not isinstance(baselines, list) or len(baselines) != n_threads):
+        errors.append(f"baseline_ipcs is not a {n_threads}-vector")
+    last_cycle = None
+    for index, decision in enumerate(decisions):
+        where = f"decisions[{index}]"
+        if not isinstance(decision, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if decision.get("epoch") != index:
+            errors.append(f"{where}: epoch {decision.get('epoch')!r} is "
+                          f"out of order (expected {index})")
+        cycle = decision.get("cycle")
+        if not isinstance(cycle, int):
+            errors.append(f"{where}: missing integer 'cycle'")
+        elif last_cycle is not None and cycle <= last_cycle:
+            errors.append(f"{where}: cycle {cycle} not after {last_cycle}")
+        else:
+            last_cycle = cycle
+        cycles = decision.get("cycles")
+        if not isinstance(cycles, int) or cycles < 0:
+            errors.append(f"{where}: bad epoch length {cycles!r}")
+        for key in ("ipcs", "loads"):
+            values = decision.get(key)
+            if not isinstance(values, list) or len(values) != n_threads:
+                errors.append(f"{where}.{key}: not a {n_threads}-vector")
+            elif any(isinstance(v, bool) or not isinstance(v, (int, float))
+                     or v < 0 for v in values):
+                errors.append(f"{where}.{key}: negative or non-numeric entry")
+        labels = decision.get("labels")
+        if not isinstance(labels, list) or len(labels) != n_threads:
+            errors.append(f"{where}.labels: not a {n_threads}-vector")
+        else:
+            for tid, label in enumerate(labels):
+                if label not in LABELS:
+                    errors.append(f"{where}.labels[{tid}]: unknown label "
+                                  f"{label!r} (taxonomy: {list(LABELS)})")
+        _check_share_vector(errors, decision.get("phi"), n_threads,
+                            f"{where}.phi")
+        _check_share_vector(errors, decision.get("beta"), n_threads,
+                            f"{where}.beta")
+        jain = decision.get("jain")
+        if (isinstance(jain, bool) or not isinstance(jain, (int, float))
+                or not 0.0 <= jain <= 1.0 + 1e-9):
+            errors.append(f"{where}: jain {jain!r} outside [0, 1]")
+        if not isinstance(decision.get("programmed"), bool):
+            errors.append(f"{where}: 'programmed' is not a bool")
+    final = payload.get("final")
+    if decisions and final is None:
+        errors.append("decisions recorded but no 'final' summary")
+    elif isinstance(final, dict) and decisions \
+            and isinstance(decisions[-1], dict):
+        last = decisions[-1]
+        for key in ("phi", "beta", "labels", "jain"):
+            if final.get(key) != last.get(key):
+                errors.append(f"final.{key} {final.get(key)!r} != last "
+                              f"decision's {last.get(key)!r}")
+    return errors
+
+
+def validate_frontier(payload) -> List[str]:
+    """Validate a ``repro.policy-frontier/1`` figure (``--figures``).
+
+    Checks that every mix reports every declared policy family with
+    sane metrics (Jain in ``[0, 1]``, non-negative aggregate IPC,
+    normalized-IPC vectors matching the workload list) and that the
+    aggregate block covers exactly the declared policies.
+    """
+    if not isinstance(payload, dict):
+        return [f"frontier must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") not in _FRONTIER_SCHEMAS:
+        return [f"unknown frontier schema {payload.get('schema')!r}"]
+    errors: List[str] = []
+    policies = payload.get("policies")
+    if (not isinstance(policies, list) or not policies
+            or any(not isinstance(p, str) for p in policies)):
+        return errors + ["document has no 'policies' name list"]
+    for key in ("epoch_cycles", "warmup", "measure"):
+        value = payload.get(key)
+        if not isinstance(value, int) or value < 1:
+            errors.append(f"bad {key} {value!r}")
+    mixes = payload.get("mixes")
+    if not isinstance(mixes, list) or not mixes:
+        return errors + ["document has no 'mixes' list"]
+    for index, mix in enumerate(mixes):
+        where = f"mixes[{index}]"
+        if not isinstance(mix, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(mix.get("mix"), str):
+            errors.append(f"{where}: missing string 'mix'")
+        workloads = mix.get("workloads")
+        if not isinstance(workloads, list) or not workloads:
+            errors.append(f"{where}: missing 'workloads' list")
+            workloads = []
+        targets = mix.get("targets")
+        if (not isinstance(targets, list)
+                or len(targets) != len(workloads)
+                or any(isinstance(t, bool)
+                       or not isinstance(t, (int, float)) or t <= 0
+                       for t in targets)):
+            errors.append(f"{where}: 'targets' is not a positive "
+                          f"{len(workloads)}-vector")
+        points = mix.get("points")
+        if not isinstance(points, dict):
+            errors.append(f"{where}: missing 'points' object")
+            continue
+        if sorted(points) != sorted(policies):
+            errors.append(f"{where}: points cover {sorted(points)}, "
+                          f"declared policies are {sorted(policies)}")
+        for policy, metrics in points.items():
+            spot = f"{where}.points[{policy}]"
+            if not isinstance(metrics, dict):
+                errors.append(f"{spot}: not an object")
+                continue
+            jain = metrics.get("jain")
+            if (isinstance(jain, bool)
+                    or not isinstance(jain, (int, float))
+                    or not 0.0 <= jain <= 1.0 + 1e-9):
+                errors.append(f"{spot}: jain {jain!r} outside [0, 1]")
+            for key in ("aggregate_ipc", "hmean", "min"):
+                value = metrics.get(key)
+                if (isinstance(value, bool)
+                        or not isinstance(value, (int, float)) or value < 0):
+                    errors.append(f"{spot}: bad {key} {value!r}")
+            normalized = metrics.get("normalized_ipcs")
+            if workloads and (not isinstance(normalized, list)
+                              or len(normalized) != len(workloads)):
+                errors.append(f"{spot}: normalized_ipcs is not a "
+                              f"{len(workloads)}-vector")
+            epochs = metrics.get("epochs")
+            if not isinstance(epochs, int) or epochs < 0:
+                errors.append(f"{spot}: bad epochs {epochs!r}")
+    aggregate = payload.get("aggregate")
+    if not isinstance(aggregate, dict):
+        errors.append("document has no 'aggregate' object")
+    elif sorted(aggregate) != sorted(policies):
+        errors.append(f"aggregate covers {sorted(aggregate)}, declared "
+                      f"policies are {sorted(policies)}")
+    else:
+        for policy, metrics in aggregate.items():
+            if not isinstance(metrics, dict) or any(
+                    isinstance(v, bool) or not isinstance(v, (int, float))
+                    for v in metrics.values()):
+                errors.append(f"aggregate[{policy}]: non-numeric metrics")
+    return errors
+
+
 _USAGE = ("usage: python -m repro.telemetry.validate "
           "[--trace|--metrics|--stacks|--prometheus|--spans|--alerts"
-          "|--requests] <artifact>")
+          "|--requests|--qos|--frontier] <artifact>")
 
 
 def _detect_kind(path: str, payload) -> str:
@@ -512,6 +722,10 @@ def _detect_kind(path: str, payload) -> str:
             return "alerts"
         if schema in _REQUESTS_SCHEMAS:
             return "requests"
+        if schema in _QOS_SCHEMAS:
+            return "qos"
+        if schema in _FRONTIER_SCHEMAS:
+            return "frontier"
         if isinstance(schema, str) and schema.startswith("repro."):
             return "metrics"
     if (isinstance(payload, list) and payload
@@ -532,7 +746,8 @@ def main(argv=None) -> int:
     flags = {"--trace": "trace", "--metrics": "metrics",
              "--stacks": "stacks", "--prometheus": "prometheus",
              "--spans": "spans", "--alerts": "alerts",
-             "--requests": "requests"}
+             "--requests": "requests", "--qos": "qos",
+             "--frontier": "frontier"}
     paths = []
     for token in argv:
         if token in flags:
@@ -623,6 +838,17 @@ def main(argv=None) -> int:
             errors = verify_requests(payload)
             count = _count_loads(payload)
         noun = "traced loads (segment conservation re-checked)"
+    elif kind == "qos":
+        errors = validate_qos_decisions(payload)
+        decisions = payload.get("decisions") \
+            if isinstance(payload, dict) else None
+        count = len(decisions) if isinstance(decisions, list) else 0
+        noun = "epoch decisions"
+    elif kind == "frontier":
+        errors = validate_frontier(payload)
+        mixes = payload.get("mixes") if isinstance(payload, dict) else None
+        count = len(mixes) if isinstance(mixes, list) else 0
+        noun = "frontier mixes"
     elif kind == "metrics":
         errors = validate_metrics_json(payload)
         count = payload.get("points", 1) if isinstance(payload, dict) else 0

@@ -8,10 +8,14 @@ from repro.workloads.microbench import (
     stores_trace,
     thread_base,
 )
+from repro.workloads.phased import PhasedProfile, parse_phased, phased_trace
 from repro.workloads.profiles import (
     HETEROGENEOUS_MIXES,
+    PHASED_MIXES,
+    PHASED_PROFILES,
     SPEC_ORDER,
     SPEC_PROFILES,
+    phased_profile_trace,
     spec_trace,
 )
 from repro.workloads.synthetic import WorkloadProfile, synthetic_trace
@@ -34,6 +38,9 @@ def build_trace(spec, thread_id: int):
     * ``("micro", name)`` — any entry of :data:`MICROBENCHMARKS`;
     * ``("spec", name)`` — a SPEC stand-in profile;
     * ``("synthetic", profile)`` — an explicit :class:`WorkloadProfile`;
+    * ``("phased", name)`` — a named ``PHASED_PROFILES`` schedule;
+    * ``("phased-inline", text)`` — an inline phased schedule in the
+      CLI's ``bench+bench[@instructions]`` form;
     * ``("tracefile", path)`` — a segment-trace file on disk.
     """
     kind = spec[0]
@@ -47,6 +54,10 @@ def build_trace(spec, thread_id: int):
         return spec_trace(spec[1], thread_id)
     if kind == "synthetic":
         return synthetic_trace(spec[1], thread_id)
+    if kind == "phased":
+        return phased_profile_trace(spec[1], thread_id)
+    if kind == "phased-inline":
+        return phased_trace(parse_phased(spec[1]), thread_id)
     if kind == "tracefile":
         return trace_from_file(spec[1])
     raise ValueError(f"unknown trace spec {spec!r}")
@@ -56,11 +67,17 @@ __all__ = [
     "ARRAY_BYTES",
     "HETEROGENEOUS_MIXES",
     "MICROBENCHMARKS",
+    "PHASED_MIXES",
+    "PHASED_PROFILES",
+    "PhasedProfile",
     "ROW_BYTES",
     "SPEC_ORDER",
     "SPEC_PROFILES",
     "WorkloadProfile",
     "build_trace",
+    "parse_phased",
+    "phased_profile_trace",
+    "phased_trace",
     "read_trace",
     "save_trace",
     "trace_from_file",

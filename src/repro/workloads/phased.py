@@ -1,0 +1,97 @@
+"""Phase-changing synthetic workloads (QoS control-plane stimuli).
+
+Real programs move between execution phases — a streaming scan, then a
+pointer-chasing core loop, then compute on a hot working set — and any
+online classifier worth its name must re-label a thread when its phase
+changes.  A :class:`PhasedProfile` rotates through a cycle of SPEC
+stand-in profiles, switching every ``phase_instructions`` committed
+instructions, so one thread's L2-level signal (miss rate, intensity,
+reuse) shifts mid-run while staying fully deterministic.
+
+Each phase keeps a *persistent* per-profile generator: returning to a
+phase resumes its address pointers rather than restarting them, the
+same way a program returning to a loop nest finds its data structures
+where it left them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.cpu.isa import NONMEM, TraceItem
+from repro.workloads.synthetic import synthetic_trace
+
+
+@dataclass(frozen=True)
+class PhasedProfile:
+    """A cyclic schedule of SPEC stand-in phases for one thread.
+
+    ``phases`` names entries of ``SPEC_PROFILES``; ``phase_instructions``
+    is the committed-instruction budget of each phase (phase boundaries
+    land on trace-item granularity, so a phase can overshoot its budget
+    by at most one non-memory run).  Frozen and repr-stable, so phased
+    trace specs are picklable and content-addressable like every other
+    spec kind.
+    """
+
+    name: str
+    phases: Tuple[str, ...]
+    phase_instructions: int = 12_000
+
+    def validate(self) -> "PhasedProfile":
+        from repro.workloads.profiles import SPEC_PROFILES
+        if len(self.phases) < 2:
+            raise ValueError(f"{self.name}: a phased profile needs >= 2 phases")
+        for phase in self.phases:
+            if phase not in SPEC_PROFILES:
+                raise ValueError(
+                    f"{self.name}: unknown phase profile {phase!r}"
+                )
+        if self.phase_instructions < 1:
+            raise ValueError(f"{self.name}: phase_instructions must be >= 1")
+        return self
+
+
+def parse_phased(text: str) -> PhasedProfile:
+    """Parse the CLI's inline form ``bench+bench[+...][@instructions]``.
+
+    Example: ``art+sixtrack@8000`` alternates art and sixtrack every
+    8000 committed instructions.
+    """
+    spec = text
+    instructions = 12_000
+    if "@" in spec:
+        spec, _, tail = spec.partition("@")
+        try:
+            instructions = int(tail)
+        except ValueError:
+            raise ValueError(f"bad phase length in {text!r}") from None
+    names = tuple(part for part in spec.split("+") if part)
+    return PhasedProfile(
+        name=spec, phases=names, phase_instructions=instructions
+    ).validate()
+
+
+def phased_trace(
+    profile: PhasedProfile, thread_id: int = 0, seed: int = 12345
+) -> Iterator[TraceItem]:
+    """Infinite phase-rotating trace realizing ``profile``."""
+    from repro.workloads.profiles import SPEC_PROFILES
+    profile.validate()
+    # One persistent generator per schedule slot; distinct seeds keep
+    # repeated occurrences of the same benchmark decorrelated.
+    generators = [
+        synthetic_trace(SPEC_PROFILES[name], thread_id=thread_id,
+                        seed=seed + 97 * slot)
+        for slot, name in enumerate(profile.phases)
+    ]
+    slot = 0
+    while True:
+        budget = profile.phase_instructions
+        step = generators[slot].__next__
+        while budget > 0:
+            item = step()
+            budget -= item[1] if item[0] == NONMEM else 1
+            yield item
+        slot = (slot + 1) % len(generators)

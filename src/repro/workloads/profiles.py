@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List
 
 from repro.cpu.isa import TraceItem
+from repro.workloads.phased import PhasedProfile, phased_trace
 from repro.workloads.synthetic import WorkloadProfile, synthetic_trace
 
 # Figure 6's benchmark order (descending data-array utilization).
@@ -98,3 +99,44 @@ HETEROGENEOUS_MIXES: Dict[str, List[str]] = {
     "mix5": ["art", "swim", "ammp", "equake"],
     "mix6": ["swim", "mcf", "mesa", "gzip"],
 }
+
+
+# Phase-changing profiles for the QoS control plane (repro.qos): each
+# rotates between SPEC stand-ins whose L2-level signals straddle the
+# classifier's taxonomy — equake/swim lean streaming (cold, miss-
+# dominated traffic), art/mcf lean cache-hungry (warm-pool reuse the L2
+# can capture), sixtrack/mgrid/bzip2 lean light (hot working sets that
+# barely touch the L2) — so a thread's label must change mid-run.
+PHASED_PROFILES: Dict[str, PhasedProfile] = {
+    name: PhasedProfile(name, phases, instructions).validate()
+    for name, phases, instructions in (
+        ("art-sixtrack", ("art", "sixtrack"), 12_000),
+        ("sixtrack-art", ("sixtrack", "art"), 12_000),
+        ("equake-art", ("equake", "art"), 12_000),
+        ("swim-mgrid", ("swim", "mgrid"), 12_000),
+        ("mcf-bzip2", ("mcf", "bzip2"), 12_000),
+    )
+}
+
+
+# Phase-changing 4-thread mixes for the policy-frontier experiment:
+# fig10-style pairings of aggressive and latency-sensitive threads, but
+# with some threads migrating between classes mid-run.  Entries name
+# either a PHASED_PROFILES schedule or a steady SPEC_PROFILES workload.
+PHASED_MIXES: Dict[str, List[str]] = {
+    "pmix1": ["art-sixtrack", "mcf", "equake-art", "gzip"],
+    "pmix2": ["sixtrack-art", "ammp", "swim-mgrid", "twolf"],
+    "pmix3": ["equake-art", "mcf-bzip2", "art", "mgrid"],
+}
+
+
+def phased_profile_trace(
+    name: str, thread_id: int = 0, seed: int = 12345
+) -> Iterator[TraceItem]:
+    """Infinite trace for one named phase-changing profile."""
+    if name not in PHASED_PROFILES:
+        raise KeyError(
+            f"unknown phased profile {name!r}; "
+            f"choose from {sorted(PHASED_PROFILES)}"
+        )
+    return phased_trace(PHASED_PROFILES[name], thread_id=thread_id, seed=seed)

@@ -15,7 +15,7 @@ class TestInfrastructure:
             "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "ablation-reorder", "ablation-capacity",
             "ablation-preempt", "ablation-memory", "ablation-fairness",
-            "sweep-designspace", "sweep-smt",
+            "sweep-designspace", "sweep-smt", "policy-frontier",
         }
         assert expected == set(REGISTRY)
 
